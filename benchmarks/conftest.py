@@ -1,0 +1,34 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures at a scale
+that finishes in minutes on a laptop, prints the rows/series the paper
+reports, and archives them under ``benchmarks/results/``.  Setting
+``REPRO_FULL=1`` switches to the paper's full grid (much slower).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def scale(quick: int, full: int) -> int:
+    return full if FULL else quick
+
+
+@pytest.fixture
+def archive():
+    """Write a rendered artifact to benchmarks/results/<name>.txt and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _save

@@ -1,0 +1,30 @@
+"""Fig. 6a — the back-end recycle's impact on update throughput over time.
+
+Shape: with the default (>= 4) unit quota, throughput over the run is high
+and stable — the recycle runs concurrently without starving the front end.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import scale
+from repro.harness.fig6 import run_fig6a
+
+
+def test_fig6a_recycle_overhead(benchmark, archive):
+    res = benchmark.pedantic(
+        run_fig6a,
+        kwargs=dict(
+            n_clients=scale(24, 48),
+            updates_per_client=scale(150, 400),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    archive("fig6a_recycle_overhead", res.render())
+    assert res.mean_iops > 0
+    # Steady-state variability stays bounded (no recycle-induced collapse).
+    assert res.steady_cv < 0.5, f"throughput unstable: cv={res.steady_cv:.2f}"
+    # No bucket in the steady half drops below half the steady mean.
+    half = res.iops[len(res.iops) // 2 :]
+    steady_mean = sum(half) / len(half)
+    assert min(half) > 0.5 * steady_mean

@@ -1,0 +1,30 @@
+"""SSD lifespan (§5.3.4): erase-op accounting per update method.
+
+Shape: TSUE erases flash the least, with a multiple-x advantage over the
+in-place methods (paper: SSDs under TSUE endure 2.5x-13x longer).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import scale
+from repro.harness.lifespan import run_lifespan
+
+
+def test_lifespan(benchmark, archive):
+    res = benchmark.pedantic(
+        run_lifespan,
+        kwargs=dict(n_clients=scale(24, 48), updates_per_client=scale(100, 300)),
+        rounds=1,
+        iterations=1,
+    )
+    archive("lifespan", res.render())
+    rel = res.relative_lifespan()
+    assert max(rel, key=rel.get) == "tsue"
+    adv = res.tsue_advantage()
+    # Directional at bench scale: TSUE outlasts every method, and by a
+    # multiple over the reserved-space logger.  (The paper's 2.5x-13x spread
+    # rides on a 12x op-count merge factor that hour-long traces provide;
+    # our short traces merge ~4x.  See EXPERIMENTS.md.)
+    for rival in ("fo", "pl", "plr", "parix", "cord"):
+        assert adv[rival] > 1.05, f"TSUE lifespan advantage over {rival}: {adv[rival]:.2f}"
+    assert adv["plr"] > 2.0  # reserved-space scatter wears flash hardest

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) fail inside setuptools' ``editable_wheel``.
+This shim lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+take the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

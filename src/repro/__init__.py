@@ -1,0 +1,33 @@
+"""TSUE reproduction: two-stage updates for erasure-coded cluster storage.
+
+Public entry points:
+
+* :class:`repro.cluster.Cluster` / :class:`repro.cluster.ClusterConfig` —
+  build a simulated ECFS cluster with any update strategy;
+* :func:`repro.update.make_strategy_factory` — pick an update method
+  (``"fo"``, ``"fl"``, ``"pl"``, ``"plr"``, ``"parix"``, ``"cord"``,
+  ``"tsue"``);
+* :func:`repro.harness.run_experiment` — one measured experiment cell;
+* :mod:`repro.harness` — per-paper-artifact runners (fig5..fig8, tables);
+* :func:`repro.recovery.recover_node` — verified node recovery.
+
+``python -m repro --help`` exposes the experiment runner on the command
+line.
+"""
+
+__version__ = "1.0.0"
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.ec import RSCodec
+from repro.sim import Simulator
+from repro.tsue import TSUEConfig, TSUEEngine
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "RSCodec",
+    "Simulator",
+    "TSUEConfig",
+    "TSUEEngine",
+    "__version__",
+]

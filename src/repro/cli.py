@@ -1,0 +1,123 @@
+"""Command-line runner: ``python -m repro <subcommand>``.
+
+Subcommands map one-to-one onto the paper's artifacts plus a free-form
+experiment cell:
+
+* ``run``    — one experiment cell (method x trace x geometry x clients);
+* ``fig5``   — one throughput panel;
+* ``fig6a`` / ``fig6b`` — recycle-overhead series / memory sweep;
+* ``fig7``   — the O1..O5 breakdown;
+* ``fig8a`` / ``fig8b`` — HDD throughput / recovery bandwidth;
+* ``table1`` / ``table2`` — workload counters / residency;
+* ``lifespan`` — flash wear comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_scale(p: argparse.ArgumentParser, clients: int, updates: int) -> None:
+    p.add_argument("--clients", type=int, default=clients)
+    p.add_argument("--updates", type=int, default=updates)
+    p.add_argument("--seed", type=int, default=7)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    run = sub.add_parser("run", help="one experiment cell")
+    run.add_argument("--method", default="tsue",
+                     choices=["fo", "fl", "pl", "plr", "parix", "cord", "tsue"])
+    run.add_argument("--trace", default="ten",
+                     help='"ali", "ten" or "msr:<volume>"')
+    run.add_argument("--k", type=int, default=6)
+    run.add_argument("--m", type=int, default=2)
+    run.add_argument("--device", default="ssd", choices=["ssd", "hdd"])
+    run.add_argument("--no-verify", action="store_true")
+    _add_scale(run, 16, 100)
+
+    f5 = sub.add_parser("fig5", help="one Fig.5 throughput panel")
+    f5.add_argument("--trace", default="ten", choices=["ali", "ten"])
+    f5.add_argument("--k", type=int, default=6)
+    f5.add_argument("--m", type=int, default=2)
+    f5.add_argument("--client-sweep", type=int, nargs="+", default=[4, 16, 64])
+    f5.add_argument("--updates", type=int, default=100)
+    f5.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("fig6a", help="recycle overhead over time")
+    sub.add_parser("fig6b", help="throughput/memory vs unit quota")
+
+    f7 = sub.add_parser("fig7", help="O1..O5 breakdown")
+    f7.add_argument("--trace", default="ten", choices=["ali", "ten"])
+    f7.add_argument("--m", type=int, default=4)
+
+    sub.add_parser("fig8a", help="HDD update throughput (MSR volumes)")
+    sub.add_parser("fig8b", help="HDD recovery bandwidth")
+    sub.add_parser("table1", help="storage workload & network traffic")
+    sub.add_parser("table2", help="residency per log layer")
+    sub.add_parser("lifespan", help="flash wear comparison")
+    return ap
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    # Imports deferred so `--help` stays instant.
+    from repro import harness
+
+    if args.cmd == "run":
+        cfg = harness.ExperimentConfig(
+            method=args.method,
+            trace=args.trace,
+            k=args.k,
+            m=args.m,
+            device_kind=args.device,
+            n_clients=args.clients,
+            updates_per_client=args.updates,
+            seed=args.seed,
+            verify=not args.no_verify,
+        )
+        res = harness.run_experiment(cfg)
+        print(f"method={args.method} trace={args.trace} RS({args.k},{args.m}) "
+              f"{args.clients} clients")
+        print(f"  aggregate IOPS : {res.agg_iops:,.0f}")
+        print(f"  mean latency   : {res.mean_latency * 1e6:,.1f} us "
+              f"(p99 {res.p99_latency * 1e6:,.1f} us)")
+        print(f"  device ops     : {res.rw_ops:,} "
+              f"({res.overwrite_ops:,} overwrites)")
+        print(f"  network        : {res.net_bytes / 1e6:,.1f} MB")
+        print(f"  erase ops      : {res.erase_ops:,.1f}")
+        if res.consistent is not None:
+            print(f"  verified       : {res.consistent}")
+            return 0 if res.consistent else 1
+        return 0
+
+    if args.cmd == "fig5":
+        panel = harness.run_panel(
+            args.k, args.m, args.trace, clients=tuple(args.client_sweep),
+            updates_per_client=args.updates, seed=args.seed,
+        )
+        print(panel.render())
+    elif args.cmd == "fig6a":
+        print(harness.run_fig6a().render())
+    elif args.cmd == "fig6b":
+        print(harness.run_fig6b().render())
+    elif args.cmd == "fig7":
+        print(harness.run_fig7(trace=args.trace, m=args.m).render())
+    elif args.cmd == "fig8a":
+        print(harness.run_fig8a().render())
+    elif args.cmd == "fig8b":
+        print(harness.run_fig8b().render())
+    elif args.cmd == "table1":
+        print(harness.run_table1().render())
+    elif args.cmd == "table2":
+        print(harness.run_table2().render())
+    elif args.cmd == "lifespan":
+        print(harness.run_lifespan().render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

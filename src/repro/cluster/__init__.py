@@ -1,0 +1,5 @@
+"""Cluster assembly: nodes, placement, and the experiment-facing facade."""
+
+from repro.cluster.cluster import Cluster, ClusterConfig, placement
+
+__all__ = ["Cluster", "ClusterConfig", "placement"]

@@ -1,0 +1,244 @@
+"""Cluster configuration, block placement and node wiring.
+
+``Cluster`` owns the simulator-level objects of one experiment: the fabric,
+one MDS, ``n_osds`` OSDs (each with one device), and any number of clients.
+Placement is the deterministic rotated-ring layout every node can compute
+locally (clients cache it after opening a file, mirroring §4's MDS-tracked
+locations without paying an RPC per update).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.devices import HDD, SSD, DeviceProfile, StorageDevice
+from repro.ec import RSCodec, StripeMap
+from repro.metrics.counters import NetCounters, OpCounters, WearModel
+from repro.net import Fabric, NET_25GBE, NetworkProfile
+from repro.sim import RngStreams, Simulator
+
+
+def placement(n_osds: int, width: int, inode: int, stripe: int) -> List[int]:
+    """OSD indices hosting the ``width = k+m`` blocks of one stripe.
+
+    A hash-rotated ring: distinct OSDs per stripe, rotating with the stripe
+    number so parity load spreads across the cluster.
+    """
+    if width > n_osds:
+        raise ValueError(f"stripe width {width} exceeds cluster size {n_osds}")
+    start = zlib.crc32(f"{inode}:{stripe}".encode()) % n_osds
+    return [(start + i) % n_osds for i in range(width)]
+
+
+@dataclass
+class ClusterConfig:
+    """Geometry + hardware of one experiment run."""
+
+    n_osds: int = 16
+    k: int = 6
+    m: int = 2
+    block_size: int = 128 * 1024
+    construction: str = "vandermonde"
+    device_kind: str = "ssd"  # "ssd" | "hdd"
+    device_profile: Optional[DeviceProfile] = None
+    net_profile: NetworkProfile = NET_25GBE
+    # Client-side per-request cost: POSIX layer, placement lookup, marker
+    # handling, context switches (the CLIENT component of §4).  Charged once
+    # per update/read call before any message leaves the node.
+    client_overhead_s: float = 120e-6
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k + self.m > self.n_osds:
+            raise ValueError(
+                f"k+m={self.k + self.m} blocks cannot be spread over "
+                f"{self.n_osds} OSDs"
+            )
+        if self.device_kind not in ("ssd", "hdd"):
+            raise ValueError(f"unknown device kind {self.device_kind!r}")
+
+
+class Cluster:
+    """All simulator objects of one experiment, wired together."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: ClusterConfig,
+        strategy_factory: Callable[["OSD"], "UpdateStrategy"],
+    ):
+        # Imports deferred: fs and update import Cluster types for hints.
+        from repro.fs.client import Client
+        from repro.fs.mds import MDS
+        from repro.fs.osd import OSD
+
+        self.sim = sim
+        self.config = config
+        self.rng = RngStreams(config.seed)
+        self.fabric = Fabric(sim, config.net_profile)
+        self.codec = RSCodec(config.k, config.m, config.construction)
+        self.stripe_map = StripeMap(config.k, config.m, config.block_size)
+
+        self.mds = MDS(sim, self.fabric, "mds", cluster=self)
+        self.osds: List[OSD] = []
+        for i in range(config.n_osds):
+            device = self._make_device(f"osd{i}.dev")
+            osd = OSD(
+                sim,
+                self.fabric,
+                f"osd{i}",
+                cluster=self,
+                device=device,
+                strategy_factory=strategy_factory,
+            )
+            self.osds.append(osd)
+        self.clients: List[Client] = []
+        self._hosts: Dict[str, "RpcHost"] = {"mds": self.mds}
+        for osd in self.osds:
+            self._hosts[osd.name] = osd
+        self._connect_all()
+
+    # ------------------------------------------------------------------
+    def _make_device(self, name: str) -> StorageDevice:
+        if self.config.device_kind == "ssd":
+            return SSD(self.sim, profile=self.config.device_profile, name=name)
+        return HDD(self.sim, profile=self.config.device_profile, name=name)
+
+    def _connect_all(self) -> None:
+        for host in self._hosts.values():
+            host.connect(self._hosts)
+
+    def add_client(self, name: str) -> "Client":
+        from repro.fs.client import Client
+
+        client = Client(self.sim, self.fabric, name, cluster=self)
+        self.clients.append(client)
+        self._hosts[name] = client
+        self._connect_all()
+        if any(h.running for h in self.osds):
+            client.start()
+        return client
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for host in self._hosts.values():
+            host.start()
+        for osd in self.osds:
+            osd.strategy.start_background()
+
+    def stop(self) -> None:
+        for osd in self.osds:
+            osd.strategy.stop_background()
+        for host in self._hosts.values():
+            host.stop()
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def placement(self, inode: int, stripe: int) -> List[str]:
+        """OSD names for the k+m blocks of a stripe, in block order."""
+        idx = placement(
+            self.config.n_osds, self.config.k + self.config.m, inode, stripe
+        )
+        return [self.osds[i].name for i in idx]
+
+    def osd_of_block(self, inode: int, stripe: int, block_index: int) -> str:
+        return self.placement(inode, stripe)[block_index]
+
+    def osd_by_name(self, name: str) -> "OSD":
+        host = self._hosts[name]
+        return host  # type: ignore[return-value]
+
+    def replica_of(self, osd_name: str) -> str:
+        """Ring neighbour hosting this OSD's DataLog replica (Fig. 4)."""
+        i = int(osd_name[3:])
+        return f"osd{(i + 1) % self.config.n_osds}"
+
+    # ------------------------------------------------------------------
+    # workload pre-load
+    # ------------------------------------------------------------------
+    def register_sparse_file(self, inode: int, size: int) -> None:
+        """Register a zero-filled file with no block materialisation.
+
+        RS codes are linear, so all-zero data blocks encode to all-zero
+        parity: a sparse file is trivially parity-consistent and blocks are
+        materialised lazily on first touch.  This lets experiments use
+        realistically large working sets (tens of MB per client) with
+        memory bounded by the bytes actually updated.
+        """
+        cfg = self.config
+        span = cfg.k * cfg.block_size
+        if size <= 0 or size % span:
+            raise ValueError(f"file size must be a positive multiple of {span}")
+        self.mds.register_file(inode, size)
+
+    def instant_load_file(self, inode: int, data: np.ndarray) -> None:
+        """Install a file's blocks and parity with no simulated I/O cost.
+
+        ``data`` must be a whole number of stripes; experiments pre-fill the
+        working set this way so measurement windows contain only updates.
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        cfg = self.config
+        span = cfg.k * cfg.block_size
+        if data.size == 0 or data.size % span:
+            raise ValueError(f"file size must be a positive multiple of {span}")
+        n_stripes = data.size // span
+        for s in range(n_stripes):
+            chunk = data[s * span : (s + 1) * span]
+            blocks = [
+                chunk[j * cfg.block_size : (j + 1) * cfg.block_size]
+                for j in range(cfg.k)
+            ]
+            parity = self.codec.encode(blocks)
+            names = self.placement(inode, s)
+            for j, blk in enumerate(blocks):
+                self.osd_by_name(names[j]).store.install((inode, s, j), blk)
+            for p, blk in enumerate(parity):
+                self.osd_by_name(names[cfg.k + p]).store.install(
+                    (inode, s, cfg.k + p), blk
+                )
+        self.mds.register_file(inode, data.size)
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def total_ops(self) -> OpCounters:
+        return OpCounters.aggregate(o.device.counters for o in self.osds)
+
+    def total_wear(self) -> WearModel:
+        out = WearModel()
+        for o in self.osds:
+            out = out.merge(o.device.wear)
+        return out
+
+    def total_net(self) -> NetCounters:
+        return self.fabric.counters
+
+    # ------------------------------------------------------------------
+    # consistency checking (tests / recovery)
+    # ------------------------------------------------------------------
+    def stripe_consistent(self, inode: int, stripe: int) -> bool:
+        """True iff stored parity equals re-encoded stored data."""
+        cfg = self.config
+        names = self.placement(inode, stripe)
+        blocks = []
+        for j in range(cfg.k):
+            blk = self.osd_by_name(names[j]).store.peek((inode, stripe, j))
+            if blk is None:
+                blk = np.zeros(cfg.block_size, dtype=np.uint8)
+            blocks.append(blk)
+        expect = self.codec.encode(blocks)
+        for p in range(cfg.m):
+            got = self.osd_by_name(names[cfg.k + p]).store.peek(
+                (inode, stripe, cfg.k + p)
+            )
+            if got is None:
+                got = np.zeros(cfg.block_size, dtype=np.uint8)
+            if not np.array_equal(got, expect[p]):
+                return False
+        return True

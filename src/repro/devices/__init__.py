@@ -1,0 +1,30 @@
+"""Calibrated storage device models running on virtual time.
+
+The entire evaluation of the paper rests on one physical fact: small random
+I/O is several times more expensive than sequential I/O, on both SSDs
+(flash translation + per-command overhead) and HDDs (seek + rotation).  The
+device models here price every simulated I/O through that lens and feed the
+wear model that backs the lifespan results.
+
+* :class:`~repro.devices.base.StorageDevice` — service-time math, channel
+  queueing, counter/wear hookup;
+* :class:`~repro.devices.ssd.SSD` and :class:`~repro.devices.hdd.HDD` —
+  concrete profiles;
+* :mod:`repro.devices.profiles` — the calibration constants (documented in
+  DESIGN.md §6).
+"""
+
+from repro.devices.base import IoRequest, StorageDevice
+from repro.devices.hdd import HDD
+from repro.devices.profiles import DeviceProfile, HDD_2TB_7200, SSD_DATACENTER_400GB
+from repro.devices.ssd import SSD
+
+__all__ = [
+    "DeviceProfile",
+    "HDD",
+    "HDD_2TB_7200",
+    "IoRequest",
+    "SSD",
+    "SSD_DATACENTER_400GB",
+    "StorageDevice",
+]

@@ -1,0 +1,147 @@
+"""Virtual-time storage device: queueing, service-time math, accounting.
+
+A device is a FIFO multi-channel server (:class:`repro.sim.Resource`).  Each
+I/O acquires a channel, holds it for the profile-derived service time, and
+updates the operation counters and the wear model.
+
+Sequentiality: callers that know their access pattern (log appends are
+sequential; in-place small updates are random) pass ``pattern="seq"`` or
+``"rand"``.  With ``pattern=None`` the device auto-classifies by comparing
+the I/O's start offset with the end offset of the previous I/O in the same
+named *zone* (a zone is one on-device region with its own head position —
+e.g. a log file or the block area).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.metrics.counters import OpCounters, WearModel
+from repro.devices.profiles import DeviceProfile
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource
+
+
+@dataclass
+class IoRequest:
+    """A single device command (used by tests and tracing hooks)."""
+
+    op: str  # "read" | "write"
+    zone: str
+    offset: int
+    nbytes: int
+    sequential: bool
+    overwrite: bool
+    service_time: float
+
+
+class StorageDevice:
+    """Base storage device model; see module docstring."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: DeviceProfile,
+        name: str = "dev",
+    ):
+        self.sim = sim
+        self.profile = profile
+        self.name = name
+        self.channels = Resource(sim, capacity=profile.channels, name=f"{name}.ch")
+        self.counters = OpCounters()
+        self.wear = WearModel(
+            page_size=profile.page_size, erase_block=profile.erase_block
+        )
+        # Per-zone head position for auto-classification.
+        self._zone_head: Dict[str, int] = {}
+        self.trace_hook = None  # optional callable(IoRequest)
+
+    # ------------------------------------------------------------------
+    # service-time math (pure, unit-testable)
+    # ------------------------------------------------------------------
+    def service_time(self, op: str, nbytes: int, sequential: bool) -> float:
+        """Seconds one channel is busy serving this command."""
+        if nbytes < 0:
+            raise ValueError("negative I/O size")
+        p = self.profile
+        if op == "read":
+            overhead = p.seq_read_overhead if sequential else p.rand_read_overhead
+            bw = p.seq_read_bw if sequential else p.rand_read_bw
+        elif op == "write":
+            overhead = p.seq_write_overhead if sequential else p.rand_write_overhead
+            bw = p.seq_write_bw if sequential else p.rand_write_bw
+        else:
+            raise ValueError(f"unknown op {op!r}")
+        return overhead + nbytes / bw
+
+    def classify(self, zone: str, offset: int, nbytes: int) -> bool:
+        """True if this access continues the zone's previous one."""
+        head = self._zone_head.get(zone)
+        sequential = head is not None and offset == head
+        self._zone_head[zone] = offset + nbytes
+        return sequential
+
+    # ------------------------------------------------------------------
+    # simulated I/O (generators for `yield from` inside processes)
+    # ------------------------------------------------------------------
+    def read(
+        self,
+        nbytes: int,
+        zone: str = "data",
+        offset: int = 0,
+        pattern: Optional[str] = None,
+    ):
+        """Simulate one read; completes after queueing + service time."""
+        sequential = self._resolve_pattern(pattern, zone, offset, nbytes)
+        dt = self.service_time("read", nbytes, sequential)
+        self.counters.record_read(nbytes, sequential)
+        self._trace("read", zone, offset, nbytes, sequential, False, dt)
+        yield from self.channels.use(dt)
+
+    def write(
+        self,
+        nbytes: int,
+        zone: str = "data",
+        offset: int = 0,
+        pattern: Optional[str] = None,
+        overwrite: bool = False,
+    ):
+        """Simulate one write; ``overwrite=True`` marks an in-place update."""
+        sequential = self._resolve_pattern(pattern, zone, offset, nbytes)
+        dt = self.service_time("write", nbytes, sequential)
+        self.counters.record_write(nbytes, sequential, overwrite)
+        if self.profile.is_flash:
+            self.wear.record_write(nbytes, sequential, overwrite)
+        self._trace("write", zone, offset, nbytes, sequential, overwrite, dt)
+        yield from self.channels.use(dt)
+
+    # ------------------------------------------------------------------
+    def _resolve_pattern(
+        self, pattern: Optional[str], zone: str, offset: int, nbytes: int
+    ) -> bool:
+        if pattern == "seq":
+            # Keep the zone head moving so later auto calls stay consistent.
+            self._zone_head[zone] = offset + nbytes
+            return True
+        if pattern == "rand":
+            self._zone_head[zone] = offset + nbytes
+            return False
+        if pattern is None:
+            return self.classify(zone, offset, nbytes)
+        raise ValueError(f"pattern must be 'seq', 'rand' or None, got {pattern!r}")
+
+    def _trace(
+        self,
+        op: str,
+        zone: str,
+        offset: int,
+        nbytes: int,
+        sequential: bool,
+        overwrite: bool,
+        dt: float,
+    ) -> None:
+        if self.trace_hook is not None:
+            self.trace_hook(
+                IoRequest(op, zone, offset, nbytes, sequential, overwrite, dt)
+            )

@@ -1,0 +1,29 @@
+"""HDD device model."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.devices.base import StorageDevice
+from repro.devices.profiles import HDD_2TB_7200, DeviceProfile
+from repro.sim.core import Simulator
+
+
+class HDD(StorageDevice):
+    """A rotating disk: single actuator, seek-dominated random access.
+
+    Defaults to the 2 TB 7.2k profile of the paper's HDD testbed.  Flash
+    wear accounting is disabled; ``counters`` still track overwrite volume
+    for Table-1-style comparisons.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: Optional[DeviceProfile] = None,
+        name: str = "hdd",
+    ):
+        profile = profile or HDD_2TB_7200
+        if profile.is_flash:
+            raise ValueError(f"profile {profile.name!r} is a flash profile")
+        super().__init__(sim, profile, name=name)

@@ -1,0 +1,35 @@
+"""SSD device model."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.devices.base import StorageDevice
+from repro.devices.profiles import SSD_DATACENTER_400GB, DeviceProfile
+from repro.sim.core import Simulator
+
+
+class SSD(StorageDevice):
+    """A flash device: multi-channel, wear-tracked.
+
+    Defaults to the 400 GB datacenter profile of the paper's SSD testbed.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: Optional[DeviceProfile] = None,
+        name: str = "ssd",
+    ):
+        profile = profile or SSD_DATACENTER_400GB
+        if not profile.is_flash:
+            raise ValueError(f"profile {profile.name!r} is not a flash profile")
+        super().__init__(sim, profile, name=name)
+
+    @property
+    def erase_ops(self) -> float:
+        return self.wear.erase_ops
+
+    @property
+    def page_writes(self) -> int:
+        return self.wear.page_writes

@@ -1,0 +1,190 @@
+"""Systematic Reed-Solomon codec and the incremental-update identities.
+
+:class:`RSCodec` is the functional core used by both the simulated file
+system and the unit tests: blocks are real ``uint8`` buffers and parity is
+really computed, so every experiment doubles as a correctness check.
+
+The delta helpers implement the equations the paper optimises around:
+
+* Eq. (2)  ``parity_delta(j, p, d_new - d_old)`` — one update's parity patch;
+* Eq. (3)  ``merge_delta`` — same-location deltas across time XOR into one;
+* Eq. (5)  ``combine_deltas`` — same-offset deltas from *different* data
+  blocks of one stripe collapse into a single combined parity delta per
+  parity block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.ec.matrix import (
+    gf_matinv,
+    gf_matmul,
+    systematic_cauchy,
+    systematic_vandermonde,
+)
+from repro.gf.arithmetic import _MUL_TABLE
+
+
+class RSCodec:
+    """A systematic RS(k, m) code over GF(2^8).
+
+    Parameters
+    ----------
+    k, m:
+        Data and parity block counts; any k of the k+m blocks reconstruct.
+    construction:
+        ``"vandermonde"`` (default, matches Eq. 1's description) or
+        ``"cauchy"``.
+    """
+
+    def __init__(self, k: int, m: int, construction: str = "vandermonde"):
+        if construction == "vandermonde":
+            self.generator = systematic_vandermonde(k, m)
+        elif construction == "cauchy":
+            self.generator = systematic_cauchy(k, m)
+        else:
+            raise ValueError(f"unknown construction {construction!r}")
+        self.k = k
+        self.m = m
+        self.construction = construction
+        # m x k parity-coefficient block (the ∂ of Eqs. 2-5).
+        self.parity_matrix = self.generator[k:].copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RSCodec(k={self.k}, m={self.m}, {self.construction})"
+
+    # ------------------------------------------------------------------
+    # encode / decode
+    # ------------------------------------------------------------------
+    def encode(self, data_blocks: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Compute the m parity blocks for k equal-length data blocks."""
+        stacked = self._stack(data_blocks, self.k)
+        parity = gf_matmul(self.parity_matrix, stacked)
+        return [parity[i].copy() for i in range(self.m)]
+
+    def coefficient(self, parity_index: int, data_index: int) -> int:
+        """∂_{p,j}: the coefficient tying data block j to parity block p."""
+        return int(self.parity_matrix[parity_index, data_index])
+
+    def decode(
+        self, shards: Mapping[int, np.ndarray], block_size: Optional[int] = None
+    ) -> List[np.ndarray]:
+        """Recover all k data blocks from any k surviving shards.
+
+        ``shards`` maps global block index (0..k+m-1; parity starts at k) to
+        its payload.  Raises ``ValueError`` with fewer than k shards.
+        """
+        if len(shards) < self.k:
+            raise ValueError(
+                f"need at least k={self.k} shards to decode, got {len(shards)}"
+            )
+        idx = sorted(shards)[: self.k]
+        sub = self.generator[idx]
+        inv = gf_matinv(sub)
+        stacked = self._stack([shards[i] for i in idx], self.k, block_size)
+        data = gf_matmul(inv, stacked)
+        return [data[i].copy() for i in range(self.k)]
+
+    def reconstruct(
+        self, shards: Mapping[int, np.ndarray], missing: Iterable[int]
+    ) -> Dict[int, np.ndarray]:
+        """Rebuild the requested missing block indices (data or parity)."""
+        missing = list(missing)
+        data = self.decode(shards)
+        out: Dict[int, np.ndarray] = {}
+        parity_cache: Optional[List[np.ndarray]] = None
+        for b in missing:
+            if b < 0 or b >= self.k + self.m:
+                raise ValueError(f"block index {b} out of range")
+            if b < self.k:
+                out[b] = data[b]
+            else:
+                if parity_cache is None:
+                    parity_cache = self.encode(data)
+                out[b] = parity_cache[b - self.k]
+        return out
+
+    # ------------------------------------------------------------------
+    # incremental-update identities
+    # ------------------------------------------------------------------
+    def parity_delta(
+        self, data_index: int, parity_index: int, data_delta: np.ndarray
+    ) -> np.ndarray:
+        """Eq. (2): the patch for one parity block from one data delta."""
+        coeff = self.coefficient(parity_index, data_index)
+        return _MUL_TABLE[coeff][np.asarray(data_delta, dtype=np.uint8)]
+
+    def apply_update(
+        self,
+        old_parity: np.ndarray,
+        data_index: int,
+        parity_index: int,
+        data_delta: np.ndarray,
+        offset: int = 0,
+    ) -> np.ndarray:
+        """Patch ``old_parity`` in place-semantics (returns a new array)."""
+        out = np.asarray(old_parity, dtype=np.uint8).copy()
+        delta = self.parity_delta(data_index, parity_index, data_delta)
+        if offset + delta.size > out.size:
+            raise ValueError("delta overruns parity block")
+        out[offset : offset + delta.size] ^= delta
+        return out
+
+    def combine_deltas(
+        self, parity_index: int, deltas: Mapping[int, np.ndarray]
+    ) -> np.ndarray:
+        """Eq. (5): same-offset deltas of several data blocks -> one patch.
+
+        ``deltas`` maps data-block index -> data delta (equal lengths).
+        """
+        return combine_deltas(self.parity_matrix, parity_index, deltas)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stack(
+        blocks: Sequence[np.ndarray], expect: int, block_size: Optional[int] = None
+    ) -> np.ndarray:
+        if len(blocks) != expect:
+            raise ValueError(f"expected {expect} blocks, got {len(blocks)}")
+        arrs = [np.asarray(b, dtype=np.uint8) for b in blocks]
+        sizes = {a.size for a in arrs}
+        if len(sizes) != 1:
+            raise ValueError(f"blocks must be equal-length, got sizes {sorted(sizes)}")
+        if block_size is not None and sizes.pop() != block_size:
+            raise ValueError("block size mismatch")
+        return np.stack(arrs, axis=0)
+
+
+def parity_delta(coeff: int, data_delta: np.ndarray) -> np.ndarray:
+    """Eq. (2) helper for a raw coefficient."""
+    return _MUL_TABLE[coeff][np.asarray(data_delta, dtype=np.uint8)]
+
+
+def merge_delta(older: np.ndarray, newer: np.ndarray) -> np.ndarray:
+    """Eq. (3): two deltas for the same location collapse by XOR."""
+    older = np.asarray(older, dtype=np.uint8)
+    newer = np.asarray(newer, dtype=np.uint8)
+    if older.shape != newer.shape:
+        raise ValueError("merge_delta requires equal-shape deltas")
+    return np.bitwise_xor(older, newer)
+
+
+def combine_deltas(
+    parity_matrix: np.ndarray, parity_index: int, deltas: Mapping[int, np.ndarray]
+) -> np.ndarray:
+    """Eq. (5): fold same-offset deltas of several data blocks into one patch."""
+    if not deltas:
+        raise ValueError("no deltas to combine")
+    items = sorted(deltas.items())
+    size = {np.asarray(d).size for _, d in items}
+    if len(size) != 1:
+        raise ValueError("combine_deltas requires equal-length deltas")
+    out = np.zeros(size.pop(), dtype=np.uint8)
+    for data_index, delta in items:
+        coeff = int(parity_matrix[parity_index, data_index])
+        if coeff:
+            out ^= _MUL_TABLE[coeff][np.asarray(delta, dtype=np.uint8)]
+    return out

@@ -1,0 +1,22 @@
+"""ECFS: the erasure-coded cluster file system (paper §4).
+
+Components mirror Fig. 4:
+
+* :class:`~repro.fs.mds.MDS` — namespace, placement authority, heartbeats;
+* :class:`~repro.fs.osd.OSD` — block storage + the update-strategy host;
+* :class:`~repro.fs.client.Client` — striping, encoding, the POSIX-ish API;
+* :class:`~repro.fs.blockstore.BlockStore` — per-OSD block payloads mapped
+  onto device offsets;
+* :mod:`repro.fs.messages` — the RPC substrate over :mod:`repro.net`.
+
+The file system is *functional*: blocks hold real bytes, parity is real RS
+parity, and every experiment can assert stripe consistency after log drain.
+"""
+
+from repro.fs.blockstore import BlockStore
+from repro.fs.client import Client
+from repro.fs.mds import MDS, FileMeta
+from repro.fs.messages import Message, RpcHost
+from repro.fs.osd import OSD
+
+__all__ = ["BlockStore", "Client", "FileMeta", "MDS", "Message", "OSD", "RpcHost"]

@@ -1,0 +1,161 @@
+"""Per-OSD block storage: real payload bytes mapped onto device offsets.
+
+Blocks are identified by ``(inode, stripe, block_index)`` keys.  Each block
+gets a fixed device extent in the ``"blocks"`` zone at allocation time, so
+the device model can price the sequentiality of every access.
+
+All I/O methods are generators (they cost virtual time through the device);
+``peek``/``install`` are cost-free escape hatches for test assertions and
+instant workload pre-loading.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.devices.base import StorageDevice
+from repro.sim.core import Simulator
+
+BlockKey = Tuple[int, int, int]  # (inode, stripe, block_index)
+
+
+class BlockStore:
+    """Block payloads + device-extent allocation for one OSD."""
+
+    ZONE = "blocks"
+
+    def __init__(self, sim: Simulator, device: StorageDevice, block_size: int):
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self.sim = sim
+        self.device = device
+        self.block_size = block_size
+        self.blocks: Dict[Hashable, np.ndarray] = {}
+        self._extent: Dict[Hashable, int] = {}
+        self._next_offset = 0
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self.blocks
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def device_offset(self, key: Hashable) -> int:
+        """The block's base offset in the device's block zone."""
+        off = self._extent.get(key)
+        if off is None:
+            off = self._next_offset
+            self._extent[key] = off
+            self._next_offset += self.block_size
+        return off
+
+    def _materialize(self, key: Hashable) -> np.ndarray:
+        blk = self.blocks.get(key)
+        if blk is None:
+            blk = np.zeros(self.block_size, dtype=np.uint8)
+            self.blocks[key] = blk
+            self.device_offset(key)
+        return blk
+
+    # ------------------------------------------------------------------
+    # costed I/O (generators)
+    # ------------------------------------------------------------------
+    def write_block(self, key: Hashable, data: np.ndarray, pattern: Optional[str] = "seq"):
+        """Write a whole block (fresh create or full overwrite)."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.size != self.block_size:
+            raise ValueError(
+                f"block payload {data.size}B != block size {self.block_size}B"
+            )
+        overwrite = key in self.blocks
+        yield from self.device.write(
+            self.block_size,
+            zone=self.ZONE,
+            offset=self.device_offset(key),
+            pattern=pattern,
+            overwrite=overwrite,
+        )
+        self.blocks[key] = data.copy()
+
+    def read_range(self, key: Hashable, offset: int, length: int, pattern: Optional[str] = "rand"):
+        """Read ``[offset, offset+length)`` of a block; returns the bytes."""
+        self._check_range(offset, length)
+        blk = self._materialize(key)
+        yield from self.device.read(
+            length,
+            zone=self.ZONE,
+            offset=self.device_offset(key) + offset,
+            pattern=pattern,
+        )
+        return blk[offset : offset + length].copy()
+
+    def write_range(
+        self,
+        key: Hashable,
+        offset: int,
+        data: np.ndarray,
+        pattern: Optional[str] = "rand",
+    ):
+        """In-place range update (always an overwrite in wear terms)."""
+        data = np.asarray(data, dtype=np.uint8)
+        self._check_range(offset, data.size)
+        blk = self._materialize(key)
+        yield from self.device.write(
+            data.size,
+            zone=self.ZONE,
+            offset=self.device_offset(key) + offset,
+            pattern=pattern,
+            overwrite=True,
+        )
+        blk[offset : offset + data.size] = data
+
+    def xor_range(
+        self,
+        key: Hashable,
+        offset: int,
+        delta: np.ndarray,
+        pattern: Optional[str] = "rand",
+    ):
+        """Read-XOR-write of a range, atomic in content.
+
+        The in-memory XOR applies *after* both simulated I/Os complete and
+        never snapshots the old bytes across a yield, so concurrent delta
+        applications to the same range commute instead of losing updates —
+        the property parity-delta application needs.
+        """
+        delta = np.asarray(delta, dtype=np.uint8)
+        self._check_range(offset, delta.size)
+        blk = self._materialize(key)
+        base = self.device_offset(key) + offset
+        yield from self.device.read(
+            delta.size, zone=self.ZONE, offset=base, pattern=pattern
+        )
+        yield from self.device.write(
+            delta.size, zone=self.ZONE, offset=base, pattern=pattern, overwrite=True
+        )
+        blk[offset : offset + delta.size] ^= delta
+
+    # ------------------------------------------------------------------
+    # cost-free access (assertions / instant load)
+    # ------------------------------------------------------------------
+    def peek(self, key: Hashable) -> Optional[np.ndarray]:
+        blk = self.blocks.get(key)
+        return None if blk is None else blk.copy()
+
+    def install(self, key: Hashable, data: np.ndarray) -> None:
+        """Place a block without simulating I/O (workload pre-load)."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.size != self.block_size:
+            raise ValueError("install size mismatch")
+        self.blocks[key] = data.copy()
+        self.device_offset(key)
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.block_size:
+            raise ValueError(
+                f"range [{offset}, {offset}+{length}) outside block of "
+                f"{self.block_size}B"
+            )

@@ -1,0 +1,178 @@
+"""The client: striping, encoding, and the user-facing API.
+
+Clients provide ``create``, ``write`` (full-stripe encode + distribute),
+``update`` (the measured path) and ``read``.  Placement is computed locally
+after ``create``/``open`` — the deterministic layout stands in for the MDS
+location cache of §4 — so steady-state updates cost exactly the messages the
+paper's Fig. 1 shows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.fs.messages import RpcHost
+from repro.metrics.latency import LatencyRecorder
+from repro.sim.events import AllOf
+
+
+class Client(RpcHost):
+    """One application node."""
+
+    def __init__(self, sim, fabric, name, cluster):
+        super().__init__(sim, fabric, name)
+        self.cluster = cluster
+        self.update_latency = LatencyRecorder(f"{name}.update")
+        self.read_latency = LatencyRecorder(f"{name}.read")
+
+    # ------------------------------------------------------------------
+    # namespace
+    # ------------------------------------------------------------------
+    def create(self, inode: int, size: int):
+        """Register a new file with the MDS (generator)."""
+        reply = yield from self.rpc(
+            "mds", "create_file", {"inode": inode, "size": size}, nbytes=32
+        )
+        return reply
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def write(self, inode: int, offset: int, data: np.ndarray):
+        """Normal (first) write: encode full stripes and distribute.
+
+        Must cover whole stripes — partial first writes are zero-padded by
+        the caller; the measured experiments only exercise ``update``.
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        cfg = self.cluster.config
+        span = cfg.k * cfg.block_size
+        if offset % span or data.size % span:
+            raise ValueError("write must cover whole stripes")
+        first_stripe = offset // span
+        acks = []
+        for s_rel in range(data.size // span):
+            stripe = first_stripe + s_rel
+            chunk = data[s_rel * span : (s_rel + 1) * span]
+            blocks = [
+                chunk[j * cfg.block_size : (j + 1) * cfg.block_size]
+                for j in range(cfg.k)
+            ]
+            parity = self.cluster.codec.encode(blocks)
+            names = self.cluster.placement(inode, stripe)
+            for j, blk in enumerate(blocks + parity):
+                acks.append(
+                    self.sim.process(
+                        self.rpc(
+                            names[j],
+                            "write_block",
+                            {"key": (inode, stripe, j), "data": blk},
+                            nbytes=blk.size,
+                        )
+                    )
+                )
+        yield AllOf(self.sim, acks)
+
+    def update(self, inode: int, offset: int, data: np.ndarray):
+        """The measured path: route each extent to its data-block OSD."""
+        data = np.asarray(data, dtype=np.uint8)
+        start = self.sim.now
+        if self.cluster.config.client_overhead_s > 0:
+            yield self.sim.timeout(self.cluster.config.client_overhead_s)
+        extents = self.cluster.stripe_map.extents(inode, offset, data.size)
+        acks = []
+        pos = 0
+        for ext in extents:
+            payload = data[pos : pos + ext.length]
+            pos += ext.length
+            osd = self.cluster.osd_of_block(inode, ext.addr.stripe, ext.addr.block_index)
+            acks.append(
+                self.sim.process(
+                    self.rpc(
+                        osd,
+                        "update",
+                        {
+                            "key": ext.addr.key(),
+                            "offset": ext.offset,
+                            "data": payload,
+                        },
+                        nbytes=ext.length,
+                    )
+                )
+            )
+        yield AllOf(self.sim, acks)
+        self.update_latency.record(self.sim.now, self.sim.now - start)
+
+    def read(self, inode: int, offset: int, length: int, down: Optional[set] = None):
+        """Range read assembled from per-block reads (generator).
+
+        ``down`` is the client's view of unavailable OSDs (normally learnt
+        from the MDS); extents whose home OSD is down are served by a
+        *degraded read* — decode from any k surviving blocks of the stripe.
+        """
+        start = self.sim.now
+        if self.cluster.config.client_overhead_s > 0:
+            yield self.sim.timeout(self.cluster.config.client_overhead_s)
+        down = down or set()
+        extents = self.cluster.stripe_map.extents(inode, offset, length)
+        procs = []
+        for ext in extents:
+            osd = self.cluster.osd_of_block(inode, ext.addr.stripe, ext.addr.block_index)
+            if osd in down:
+                procs.append(
+                    self.sim.process(
+                        self._degraded_read(
+                            inode, ext.addr.stripe, ext.addr.block_index,
+                            ext.offset, ext.length, down,
+                        )
+                    )
+                )
+            else:
+                procs.append(
+                    self.sim.process(
+                        self._read_one(osd, ext.addr.key(), ext.offset, ext.length)
+                    )
+                )
+        pieces = yield AllOf(self.sim, procs)
+        out = np.concatenate(pieces) if pieces else np.zeros(0, np.uint8)
+        self.read_latency.record(self.sim.now, self.sim.now - start)
+        return out
+
+    def _read_one(self, osd: str, key, offset: int, length: int):
+        reply = yield from self.rpc(
+            osd, "read", {"key": key, "offset": offset, "length": length}, nbytes=24
+        )
+        return reply["data"]
+
+    def _degraded_read(
+        self, inode: int, stripe: int, lost_index: int, offset: int, length: int, down: set
+    ):
+        """Decode one lost block's range from k surviving full blocks.
+
+        Degraded reads are the expensive path the paper's recovery story
+        protects: k whole-block transfers plus a decode for every range on
+        a failed OSD.  Survivors' logs must have drained for the parity to
+        be current — callers recover-or-drain first, as §2.3.2 requires.
+        """
+        cfg = self.cluster.config
+        names = self.cluster.placement(inode, stripe)
+        sources = [
+            (b, names[b]) for b in range(cfg.k + cfg.m) if names[b] not in down
+        ][: cfg.k]
+        if len(sources) < cfg.k:
+            raise RuntimeError(
+                f"stripe ({inode},{stripe}) has only {len(sources)} live blocks; "
+                f"unrecoverable with k={cfg.k}"
+            )
+        pulls = [
+            self.sim.process(
+                self._read_one(osd, (inode, stripe, b), 0, cfg.block_size)
+            )
+            for b, osd in sources
+        ]
+        blocks = yield AllOf(self.sim, pulls)
+        shards = {b: blk for (b, _), blk in zip(sources, blocks)}
+        rebuilt = self.cluster.codec.reconstruct(shards, [lost_index])[lost_index]
+        return rebuilt[offset : offset + length]

@@ -1,0 +1,124 @@
+"""The metadata server: namespace, placement authority, heartbeats.
+
+The MDS tracks files (inode -> size/geometry), answers placement queries,
+and monitors OSD liveness through heartbeats.  Clients query placement at
+open time and cache it (the placement function is deterministic), so the
+steady-state update path never touches the MDS — matching the paper's
+architecture where the MDS is out of the data path.
+
+The MDS also keeps the page-level written bitmap of §4.3 that classifies
+incoming writes as *first writes* vs *updates*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.fs.messages import Message, RpcHost
+
+PAGE = 4096
+
+
+@dataclass
+class FileMeta:
+    """Namespace entry for one file."""
+
+    inode: int
+    size: int
+    written_pages: Set[int] = field(default_factory=set)
+
+    def mark_written(self, offset: int, length: int) -> None:
+        for page in range(offset // PAGE, (offset + max(length, 1) - 1) // PAGE + 1):
+            self.written_pages.add(page)
+
+    def is_update(self, offset: int, length: int) -> bool:
+        """True iff every touched page was previously written."""
+        pages = range(offset // PAGE, (offset + max(length, 1) - 1) // PAGE + 1)
+        return all(p in self.written_pages for p in pages)
+
+
+class MDS(RpcHost):
+    """Metadata server node."""
+
+    HEARTBEAT_TIMEOUT = 3.0
+
+    def __init__(self, sim, fabric, name, cluster):
+        super().__init__(sim, fabric, name)
+        self.cluster = cluster
+        self.files: Dict[int, FileMeta] = {}
+        self.last_heartbeat: Dict[str, float] = {}
+        self.register("create_file", self._h_create)
+        self.register("stat", self._h_stat)
+        self.register("locate", self._h_locate)
+        self.register("heartbeat", self._h_heartbeat)
+        self.register("classify_write", self._h_classify)
+
+    # ------------------------------------------------------------------
+    # direct (non-RPC) registration used by instant loading
+    # ------------------------------------------------------------------
+    def register_file(self, inode: int, size: int) -> FileMeta:
+        meta = self.files.get(inode)
+        if meta is None:
+            meta = FileMeta(inode, size)
+            self.files[inode] = meta
+        else:
+            meta.size = max(meta.size, size)
+        meta.mark_written(0, size)
+        return meta
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    def _h_create(self, msg: Message):
+        inode = msg.payload["inode"]
+        size = msg.payload["size"]
+        if inode in self.files:
+            raise ValueError(f"inode {inode} already exists")
+        self.files[inode] = FileMeta(inode, size)
+        yield self.sim.timeout(0)  # metadata op: negligible local cost
+        return {"ok": True}, 16
+
+    def _h_stat(self, msg: Message):
+        meta = self.files.get(msg.payload["inode"])
+        yield self.sim.timeout(0)
+        if meta is None:
+            return {"exists": False}, 16
+        return {"exists": True, "size": meta.size}, 32
+
+    def _h_locate(self, msg: Message):
+        inode = msg.payload["inode"]
+        stripe = msg.payload["stripe"]
+        names = self.cluster.placement(inode, stripe)
+        yield self.sim.timeout(0)
+        return {"osds": names}, 16 * len(names)
+
+    def _h_heartbeat(self, msg: Message):
+        self.last_heartbeat[msg.src] = self.sim.now
+        yield self.sim.timeout(0)
+        return {"ok": True}, 8
+
+    def _h_classify(self, msg: Message):
+        """First-write vs update classification (page bitmap, §4.3)."""
+        meta = self.files.get(msg.payload["inode"])
+        offset = msg.payload["offset"]
+        length = msg.payload["length"]
+        yield self.sim.timeout(0)
+        if meta is None:
+            return {"update": False}, 8
+        is_upd = meta.is_update(offset, length)
+        meta.mark_written(offset, length)
+        return {"update": is_upd}, 8
+
+    # ------------------------------------------------------------------
+    # failure detection
+    # ------------------------------------------------------------------
+    def failed_osds(self, now: Optional[float] = None) -> List[str]:
+        """OSDs whose heartbeat is older than the timeout."""
+        now = self.sim.now if now is None else now
+        out = []
+        for osd in self.cluster.osds:
+            seen = self.last_heartbeat.get(osd.name)
+            if seen is None or now - seen > self.HEARTBEAT_TIMEOUT:
+                out.append(osd.name)
+        return out

@@ -1,0 +1,144 @@
+"""RPC over the simulated fabric.
+
+Every node (MDS, OSD, client) is an :class:`RpcHost` with a mailbox; a
+dispatcher process pops messages and spawns one handler process per message,
+so a node serves requests concurrently while its devices and NIC provide the
+real back-pressure.
+
+``rpc`` is request/response (the caller waits for the handler's reply and
+pays both transfer directions); ``send`` is one-way fire-and-forget used for
+background notifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from repro.net.fabric import Fabric
+from repro.sim.core import Simulator
+from repro.sim.events import Event
+from repro.sim.resources import Store
+
+# Fixed protocol overhead charged per message in addition to payload bytes.
+MSG_OVERHEAD = 64
+
+Handler = Callable[["Message"], Generator[Event, Any, Optional[Tuple[dict, int]]]]
+
+
+@dataclass
+class Message:
+    """One RPC request in flight."""
+
+    kind: str
+    src: str
+    dst: str
+    payload: dict
+    nbytes: int
+    reply_event: Optional[Event] = None
+    sent_at: float = 0.0
+
+
+class RpcHost:
+    """Base class for every networked node in the cluster."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric, name: str):
+        self.sim = sim
+        self.fabric = fabric
+        self.name = name
+        fabric.attach(name)
+        self.mailbox: Store = Store(sim, name=f"{name}.mbox")
+        self.handlers: Dict[str, Handler] = {}
+        self.peers: Dict[str, "RpcHost"] = {}
+        self._dispatcher = None
+        self.running = False
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def register(self, kind: str, handler: Handler) -> None:
+        if kind in self.handlers:
+            raise ValueError(f"handler for {kind!r} already registered on {self.name}")
+        self.handlers[kind] = handler
+
+    def connect(self, peers: Dict[str, "RpcHost"]) -> None:
+        """Install the cluster-wide name -> host routing table."""
+        self.peers = peers
+
+    def start(self) -> None:
+        """Boot the dispatcher process (idempotent)."""
+        if not self.running:
+            self.running = True
+            self._dispatcher = self.sim.process(
+                self._dispatch_loop(), name=f"{self.name}.dispatch"
+            )
+
+    def stop(self) -> None:
+        self.running = False
+        if self._dispatcher is not None and self._dispatcher.is_alive:
+            self._dispatcher.interrupt("stop")
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self):
+        while self.running:
+            msg = yield self.mailbox.get()
+            self.sim.process(self._handle(msg), name=f"{self.name}.{msg.kind}")
+
+    def _handle(self, msg: Message):
+        handler = self.handlers.get(msg.kind)
+        if handler is None:
+            err = KeyError(f"{self.name} has no handler for {msg.kind!r}")
+            if msg.reply_event is not None:
+                msg.reply_event.fail(err)
+                return
+            raise err
+        try:
+            result = yield from handler(msg)
+        except Exception as err:
+            # Application-level failure: deliver it to the caller as the
+            # RPC outcome instead of crashing the serving node.
+            if msg.reply_event is not None:
+                yield from self.fabric.transfer(
+                    self.name, msg.src, MSG_OVERHEAD, kind=f"{msg.kind}.err"
+                )
+                msg.reply_event.fail(err)
+                return
+            raise
+        if msg.reply_event is not None:
+            payload, nbytes = result if result is not None else ({}, 0)
+            yield from self.fabric.transfer(
+                self.name, msg.src, nbytes + MSG_OVERHEAD, kind=f"{msg.kind}.reply"
+            )
+            msg.reply_event.succeed(payload)
+
+    # ------------------------------------------------------------------
+    # calling
+    # ------------------------------------------------------------------
+    def _route(self, dst: str) -> "RpcHost":
+        try:
+            return self.peers[dst]
+        except KeyError:
+            raise KeyError(f"{self.name} has no route to {dst!r}") from None
+
+    def rpc(self, dst: str, kind: str, payload: dict, nbytes: int = 0):
+        """Request/response call; returns the reply payload (generator)."""
+        host = self._route(dst)
+        reply = self.sim.event(name=f"reply:{kind}")
+        yield from self.fabric.transfer(
+            self.name, dst, nbytes + MSG_OVERHEAD, kind=kind
+        )
+        host.mailbox.put(
+            Message(kind, self.name, dst, payload, nbytes, reply, self.sim.now)
+        )
+        result = yield reply
+        return result
+
+    def send(self, dst: str, kind: str, payload: dict, nbytes: int = 0):
+        """One-way message: pays the forward transfer only (generator)."""
+        host = self._route(dst)
+        yield from self.fabric.transfer(
+            self.name, dst, nbytes + MSG_OVERHEAD, kind=kind
+        )
+        host.mailbox.put(Message(kind, self.name, dst, payload, nbytes, None, self.sim.now))

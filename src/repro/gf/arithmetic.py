@@ -1,0 +1,110 @@
+"""Table-driven GF(2^8) arithmetic.
+
+The exp table is laid out doubled (length 510) so ``exp[log a + log b]``
+never needs an explicit ``mod 255``; the log table maps 1..255 to 0..254
+(``log[0]`` is a sentinel never consulted on a valid path).
+
+Bulk multiplication (`gf_mul`, `gf_mul_scalar`) is fully vectorised: a
+256-entry per-scalar product row is gathered once and indexed by the data
+bytes, which keeps the inner loop inside numpy's fancy indexing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+GF_ORDER = 256
+PRIM_POLY = 0x11D  # x^8 + x^4 + x^3 + x^2 + 1
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(510, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= PRIM_POLY
+    exp[255:510] = exp[0:255]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+# 256x256 full multiplication table: 64 KiB, built once.  Row g is the map
+# b -> g*b, which turns scalar-times-buffer into one gather.
+_MUL_TABLE = np.zeros((256, 256), dtype=np.uint8)
+for _g in range(1, 256):
+    _bs = np.arange(1, 256)
+    _MUL_TABLE[_g, 1:] = _EXP[_LOG[_g] + _LOG[_bs]]
+del _g, _bs
+
+
+def gf_exp_table() -> np.ndarray:
+    """A read-only view of the doubled exp table (length 510)."""
+    v = _EXP.view()
+    v.flags.writeable = False
+    return v
+
+
+def gf_log_table() -> np.ndarray:
+    """A read-only view of the log table (index 0 is a sentinel)."""
+    v = _LOG.view()
+    v.flags.writeable = False
+    return v
+
+
+def gf_add(a, b) -> np.ndarray:
+    """Field addition (= subtraction): bytewise XOR."""
+    return np.bitwise_xor(np.asarray(a, dtype=np.uint8), np.asarray(b, dtype=np.uint8))
+
+
+def gf_mul(a, b) -> np.ndarray:
+    """Elementwise field product of two uint8 arrays (broadcasting)."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    return _MUL_TABLE[a, b]
+
+
+def gf_mul_scalar(scalar: int, buf) -> np.ndarray:
+    """``scalar * buf`` over the field, vectorised via one table row."""
+    if not 0 <= scalar <= 255:
+        raise ValueError(f"scalar {scalar} outside GF(256)")
+    buf = np.asarray(buf, dtype=np.uint8)
+    if scalar == 0:
+        return np.zeros_like(buf)
+    if scalar == 1:
+        return buf.copy()
+    return _MUL_TABLE[scalar][buf]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse of a nonzero field element."""
+    if not 0 < a <= 255:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return int(_EXP[255 - _LOG[a]])
+
+
+def gf_div(a, b) -> np.ndarray:
+    """Elementwise ``a / b``; raises on any zero divisor."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if np.any(b == 0):
+        raise ZeroDivisionError("division by zero in GF(256)")
+    la = _LOG[a]
+    lb = _LOG[b]
+    out = _EXP[(la - lb) % 255].astype(np.uint8)
+    return np.where(a == 0, np.uint8(0), out)
+
+
+def gf_pow(a: int, n: int) -> int:
+    """``a ** n`` in the field (n may be any integer for nonzero a)."""
+    if a == 0:
+        if n == 0:
+            return 1
+        if n < 0:
+            raise ZeroDivisionError("0 ** negative in GF(256)")
+        return 0
+    return int(_EXP[(_LOG[a] * n) % 255])

@@ -1,0 +1,46 @@
+"""The experiment harness.
+
+:func:`~repro.harness.experiment.run_experiment` builds a cluster, preloads
+files, replays traces through closed-loop clients, drains logs, verifies
+consistency, and returns an :class:`~repro.harness.experiment.ExperimentResult`
+with every quantity the paper's tables and figures report.
+
+One module per paper artifact sits alongside (``fig5``, ``fig6``, ``fig7``,
+``fig8``, ``table1``, ``table2``); each exposes a ``run(...)`` returning
+printable rows plus the raw numbers, and the corresponding benchmark under
+``benchmarks/`` is a thin wrapper that prints them.
+"""
+
+from repro.harness.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    drain_all,
+    run_experiment,
+)
+from repro.harness.fig5 import Fig5Panel, run_panel
+from repro.harness.fig6 import run_fig6a, run_fig6b
+from repro.harness.fig7 import run_fig7
+from repro.harness.fig8 import run_fig8a, run_fig8b
+from repro.harness.lifespan import run_lifespan
+from repro.harness.table1 import run_table1
+from repro.harness.table2 import run_table2
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "Fig5Panel",
+    "drain_all",
+    "run_experiment",
+    "run_fig5_panel",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig7",
+    "run_fig8a",
+    "run_fig8b",
+    "run_lifespan",
+    "run_panel",
+    "run_table1",
+    "run_table2",
+]
+
+run_fig5_panel = run_panel

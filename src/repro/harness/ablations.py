@@ -1,0 +1,130 @@
+"""Ablation benches beyond the paper's own breakdown (DESIGN.md §5).
+
+* unit size 8 MB vs 16 MB residency claim (§5.3.5: halving the unit halves
+  the buffer interval) — checked at bench scale with proportionally small
+  units;
+* DataLog replica count (2 on SSD vs 3, the HDD setting);
+* two-level-index merging on/off at fixed pool structure (prices the merge
+  machinery itself, beyond Fig. 7's O1/O2 ladder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.metrics.report import format_series
+
+
+def _tsue_cfg(seed: int, n_clients: int, updates: int, **flags) -> ExperimentConfig:
+    params = dict(unit_bytes=512 * 1024, flush_age=0.05, flush_interval=0.02)
+    params.update(flags)
+    return ExperimentConfig(
+        method="tsue",
+        trace="ten",
+        k=6,
+        m=4,
+        n_clients=n_clients,
+        updates_per_client=updates,
+        seed=seed,
+        verify=False,
+        strategy_params=params,
+    )
+
+
+@dataclass
+class UnitSizeAblation:
+    unit_bytes: List[int]
+    buffer_us: List[float]
+    iops: List[float]
+
+    def render(self) -> str:
+        return format_series(
+            {"data-log buffer (us)": self.buffer_us, "IOPS": self.iops},
+            [u // 1024 for u in self.unit_bytes],
+            "unit KiB",
+            title="Ablation: log-unit size vs residency (§5.3.5)",
+        )
+
+
+def run_unit_size_ablation(
+    unit_sizes: Sequence[int] = (256 * 1024, 512 * 1024, 1024 * 1024),
+    n_clients: int = 32,
+    updates: int = 150,
+    seed: int = 31,
+) -> UnitSizeAblation:
+    buf: List[float] = []
+    iops: List[float] = []
+    for u in unit_sizes:
+        res = run_experiment(_tsue_cfg(seed, n_clients, updates, unit_bytes=u))
+        assert res.residency is not None
+        buf.append(res.residency.mean_us("data_log")[1])
+        iops.append(res.agg_iops)
+    return UnitSizeAblation(unit_bytes=list(unit_sizes), buffer_us=buf, iops=iops)
+
+
+@dataclass
+class ReplicaAblation:
+    replicas: List[int]
+    iops: List[float]
+    latency_us: List[float]
+
+    def render(self) -> str:
+        return format_series(
+            {"IOPS": self.iops, "latency (us)": self.latency_us},
+            self.replicas,
+            "DataLog copies",
+            title="Ablation: DataLog replica count",
+        )
+
+
+def run_replica_ablation(
+    replica_counts: Sequence[int] = (1, 2, 3),
+    n_clients: int = 32,
+    updates: int = 150,
+    seed: int = 37,
+) -> ReplicaAblation:
+    iops: List[float] = []
+    lat: List[float] = []
+    for r in replica_counts:
+        res = run_experiment(_tsue_cfg(seed, n_clients, updates, replicas=r))
+        iops.append(res.agg_iops)
+        lat.append(res.mean_latency * 1e6)
+    return ReplicaAblation(replicas=list(replica_counts), iops=iops, latency_us=lat)
+
+
+@dataclass
+class IndexAblation:
+    labels: List[str]
+    iops: List[float]
+    rw_ops: List[int]
+
+    def render(self) -> str:
+        return format_series(
+            {"IOPS": self.iops, "device R/W ops": self.rw_ops},
+            self.labels,
+            "index merging",
+            title="Ablation: two-level-index merging at fixed pool structure",
+        )
+
+
+def run_index_ablation(
+    n_clients: int = 32, updates: int = 150, seed: int = 41
+) -> IndexAblation:
+    labels = ["off", "on"]
+    iops: List[float] = []
+    ops: List[int] = []
+    for merging in (False, True):
+        res = run_experiment(
+            _tsue_cfg(
+                seed,
+                n_clients,
+                updates,
+                use_locality_data=merging,
+                use_locality_parity=merging,
+            )
+        )
+        iops.append(res.agg_iops)
+        ops.append(res.rw_ops)
+    return IndexAblation(labels=labels, iops=iops, rw_ops=ops)

@@ -1,0 +1,84 @@
+"""Fig. 5 — update throughput on the SSD cluster.
+
+The paper's grid: 6 methods x RS{(6,2),(12,2),(6,3),(12,3),(6,4),(12,4)} x
+{Ali-Cloud, Ten-Cloud} x client counts up to 64, reporting aggregate IOPS.
+``run`` executes one (code, trace) panel over a client sweep and returns the
+series per method; the benchmark prints every panel.
+
+Expected shape (paper §5.2): TSUE highest everywhere; throughput grows with
+client count; TSUE's margin grows with m (x1.5 class at m=2 up to x10 over
+PLR at m=4); gains larger under Ten-Cloud than Ali-Cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.metrics.report import format_series
+
+METHODS = ("fo", "pl", "plr", "parix", "cord", "tsue")
+CODES: Tuple[Tuple[int, int], ...] = ((6, 2), (12, 2), (6, 3), (12, 3), (6, 4), (12, 4))
+TRACES = ("ali", "ten")
+
+
+@dataclass
+class Fig5Panel:
+    """One sub-figure: IOPS per method over the client sweep."""
+
+    k: int
+    m: int
+    trace: str
+    clients: List[int]
+    iops: Dict[str, List[float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        title = f"Fig.5 RS({self.k},{self.m}) {self.trace}-cloud: aggregate update IOPS"
+        return format_series(self.iops, self.clients, "clients", title=title)
+
+    def winner_at(self, clients: int) -> str:
+        i = self.clients.index(clients)
+        return max(self.iops, key=lambda m: self.iops[m][i])
+
+
+def run_panel(
+    k: int,
+    m: int,
+    trace: str,
+    clients: Sequence[int] = (4, 16, 64),
+    updates_per_client: int = 100,
+    methods: Sequence[str] = METHODS,
+    seed: int = 7,
+    base: ExperimentConfig = None,
+) -> Fig5Panel:
+    """One (code, trace) panel of Fig. 5."""
+    panel = Fig5Panel(k=k, m=m, trace=trace, clients=list(clients))
+    for method in methods:
+        series = []
+        for n in clients:
+            cfg = _cell_config(base, method, trace, k, m, n, updates_per_client, seed)
+            series.append(run_experiment(cfg).agg_iops)
+        panel.iops[method] = series
+    return panel
+
+
+def _cell_config(base, method, trace, k, m, n_clients, updates, seed) -> ExperimentConfig:
+    cfg = base if base is not None else ExperimentConfig()
+    cfg = replace(
+        cfg,
+        method=method,
+        trace=trace,
+        k=k,
+        m=m,
+        n_clients=n_clients,
+        updates_per_client=updates,
+        seed=seed,
+        verify=False,
+        strategy_params=dict(cfg.strategy_params),
+    )
+    if method == "tsue" and not cfg.strategy_params:
+        cfg.strategy_params = dict(
+            unit_bytes=256 * 1024, flush_age=0.02, flush_interval=0.01
+        )
+    return cfg

@@ -1,0 +1,33 @@
+"""TSUE's log machinery: two-level index, log units, FIFO log pools.
+
+These are *functional* data structures — they hold real bytes and really
+merge them — so the locality numbers the simulator reports are measured, not
+assumed:
+
+* :class:`~repro.logstruct.index.TwoLevelIndex` — level 1: hash map over
+  blocks (with a bitmap for fast miss rejection); level 2: offset-sorted,
+  non-overlapping, coalesced segment lists per block.  Two merge policies:
+  ``"overwrite"`` (DataLog: newest data wins, Eq. 4) and ``"xor"``
+  (DeltaLog/ParityLog: same-offset deltas fold together, Eq. 3).
+* :class:`~repro.logstruct.unit.LogUnit` — one fixed-size append region with
+  its own index, lifecycle state and residency timestamps.
+* :class:`~repro.logstruct.pool.LogPool` — the FIFO queue of units: one
+  active appender, concurrent recycling, elastic 2..max sizing, recycled
+  units doubling as a read cache.
+"""
+
+from repro.logstruct.index import Segment, TwoLevelIndex
+from repro.logstruct.intervals import IntervalSet
+from repro.logstruct.pool import LogPool
+from repro.logstruct.states import UnitState
+from repro.logstruct.unit import LogEntry, LogUnit
+
+__all__ = [
+    "IntervalSet",
+    "LogEntry",
+    "LogPool",
+    "LogUnit",
+    "Segment",
+    "TwoLevelIndex",
+    "UnitState",
+]

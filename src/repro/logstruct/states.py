@@ -1,0 +1,26 @@
+"""Log-unit lifecycle states (Fig. 3 of the paper)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class UnitState(enum.Enum):
+    """EMPTY -> (active appends) -> RECYCLABLE -> RECYCLING -> RECYCLED.
+
+    A RECYCLED unit keeps its index and payload, serving as a read cache,
+    until the pool re-activates it as EMPTY for new appends.
+    """
+
+    EMPTY = "empty"
+    RECYCLABLE = "recyclable"
+    RECYCLING = "recycling"
+    RECYCLED = "recycled"
+
+    def can_append(self) -> bool:
+        return self is UnitState.EMPTY
+
+    def can_serve_reads(self) -> bool:
+        # Every state with a live index can serve reads; EMPTY units are the
+        # active appenders and also serve what they already hold.
+        return True

@@ -1,0 +1,151 @@
+"""Latency, throughput-over-time, and residency measurement."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class LatencyRecorder:
+    """Collects (completion_time, latency) samples for one operation class.
+
+    Backs both the aggregate IOPS numbers of Fig. 5 (completions / horizon)
+    and the latency comparisons in Fig. 1's narrative.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.completion_times: List[float] = []
+        self.latencies: List[float] = []
+
+    def record(self, completion_time: float, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        self.completion_times.append(completion_time)
+        self.latencies.append(latency)
+
+    def __len__(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies)
+
+    def mean(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, q in [0, 100]."""
+        if not self.latencies:
+            return 0.0
+        data = sorted(self.latencies)
+        rank = min(len(data) - 1, max(0, int(round(q / 100.0 * (len(data) - 1)))))
+        return data[rank]
+
+    def throughput(self, horizon: Optional[float] = None) -> float:
+        """Completed operations per virtual second."""
+        if not self.completion_times:
+            return 0.0
+        h = horizon if horizon is not None else max(self.completion_times)
+        return len(self.completion_times) / h if h > 0 else 0.0
+
+    def iops_series(self, bucket: float, horizon: float) -> "IntervalSeries":
+        """Completions bucketed into fixed intervals (Fig. 6a time series)."""
+        n = max(1, int(round(horizon / bucket)))
+        counts = [0] * n
+        for t in self.completion_times:
+            i = min(n - 1, int(t / bucket))
+            counts[i] += 1
+        return IntervalSeries(
+            times=[bucket * (i + 1) for i in range(n)],
+            values=[c / bucket for c in counts],
+            name=f"{self.name}.iops",
+        )
+
+
+@dataclass
+class IntervalSeries:
+    """A named time series sampled at interval ends."""
+
+    times: List[float]
+    values: List[float]
+    name: str = ""
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def value_at(self, t: float) -> float:
+        i = bisect.bisect_left(self.times, t)
+        i = min(i, len(self.values) - 1)
+        return self.values[i]
+
+
+@dataclass
+class _Phase:
+    total: float = 0.0
+    n: int = 0
+
+    def add(self, seconds: float) -> None:
+        self.total += seconds
+        self.n += 1
+
+    def mean_us(self) -> float:
+        return 1e6 * self.total / self.n if self.n else 0.0
+
+
+class ResidencyTracker:
+    """Per-log-layer residency accounting (Table 2).
+
+    Each log layer reports three phases, recorded by different actors:
+
+    * ``append`` — synchronous/forward append duration (front end);
+    * ``buffer`` — wait between append and recycle start (recycler);
+    * ``recycle`` — per-entry processing time inside the recycler.
+    """
+
+    LAYERS = ("data_log", "delta_log", "parity_log")
+    PHASES = ("append", "buffer", "recycle")
+
+    def __init__(self) -> None:
+        self._acc: Dict[str, Dict[str, _Phase]] = {
+            layer: {phase: _Phase() for phase in self.PHASES} for layer in self.LAYERS
+        }
+
+    def record_append(self, layer: str, seconds: float) -> None:
+        self._acc[layer]["append"].add(seconds)
+
+    def record_buffer(self, layer: str, seconds: float) -> None:
+        self._acc[layer]["buffer"].add(seconds)
+
+    def record_recycle(self, layer: str, seconds: float) -> None:
+        self._acc[layer]["recycle"].add(seconds)
+
+    def record(self, layer: str, append: float, buffer: float, recycle: float) -> None:
+        """Record one sample of every phase at once (test convenience)."""
+        self.record_append(layer, append)
+        self.record_buffer(layer, buffer)
+        self.record_recycle(layer, recycle)
+
+    def mean_us(self, layer: str) -> Tuple[float, float, float]:
+        """(append, buffer, recycle) mean residency in microseconds."""
+        acc = self._acc[layer]
+        return tuple(acc[phase].mean_us() for phase in self.PHASES)
+
+    def total_time_us(self) -> float:
+        """End-to-end mean residency across the three layers, in µs."""
+        return sum(sum(self.mean_us(layer)) for layer in self.LAYERS)
+
+    def samples(self, layer: str) -> int:
+        return max(p.n for p in self._acc[layer].values())
+
+    def merge(self, other: "ResidencyTracker") -> "ResidencyTracker":
+        """Combine trackers from several OSD engines."""
+        out = ResidencyTracker()
+        for src in (self, other):
+            for layer in self.LAYERS:
+                for phase in self.PHASES:
+                    p = src._acc[layer][phase]
+                    out._acc[layer][phase].total += p.total
+                    out._acc[layer][phase].n += p.n
+        return out

@@ -1,0 +1,63 @@
+"""Plain-text rendering of result tables and series.
+
+The benchmark harness prints the same rows/columns the paper's tables and
+figures report; these helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _fmt(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4g}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    srows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in srows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[Cell]], x: Sequence[Cell], x_name: str, title: str = ""
+) -> str:
+    """Render several named series against a shared x axis."""
+    for name, vals in series.items():
+        if len(vals) != len(x):
+            raise ValueError(
+                f"series {name!r} has {len(vals)} points for {len(x)} x values"
+            )
+    headers = [x_name] + list(series)
+    rows = []
+    for i, xv in enumerate(x):
+        rows.append([xv] + [vals[i] for vals in series.values()])
+    return format_table(headers, rows, title=title)

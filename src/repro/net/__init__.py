@@ -1,0 +1,16 @@
+"""Cluster network model.
+
+A :class:`~repro.net.fabric.Fabric` connects named endpoints through
+full-duplex :class:`~repro.net.nic.NIC` ports and a non-blocking switch
+(the paper's testbeds use 25 Gb/s Ethernet / 40 Gb/s InfiniBand with far
+more backplane than edge bandwidth, so only the NICs queue).
+
+A transfer costs: sender serialisation (tx port held for size/bandwidth),
+wire+stack latency, receiver deserialisation (rx port).  Every transfer is
+counted toward Table 1's NETWORK column.
+"""
+
+from repro.net.fabric import Fabric, NetworkProfile, NET_25GBE, NET_40GIB
+from repro.net.nic import NIC
+
+__all__ = ["Fabric", "NIC", "NET_25GBE", "NET_40GIB", "NetworkProfile"]

@@ -1,0 +1,68 @@
+"""The switch fabric: endpoint registry and transfer costing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.metrics.counters import NetCounters
+from repro.net.nic import NIC
+from repro.sim.core import Simulator
+
+GBIT = 1e9 / 8
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Edge bandwidth and per-message base latency of a fabric."""
+
+    name: str
+    bandwidth: float  # bytes/second per NIC direction
+    base_latency: float  # switch + stack latency per message, seconds
+    header_bytes: int = 128  # protocol framing charged per message
+
+
+# The SSD testbed: 25 Gb/s Ethernet.
+NET_25GBE = NetworkProfile(name="25gbe", bandwidth=25 * GBIT, base_latency=30e-6)
+# The HDD testbed: 40 Gb/s InfiniBand (lower stack latency).
+NET_40GIB = NetworkProfile(name="40gib", bandwidth=40 * GBIT, base_latency=8e-6)
+
+
+class Fabric:
+    """A non-blocking switch connecting named NIC endpoints."""
+
+    def __init__(self, sim: Simulator, profile: NetworkProfile = NET_25GBE):
+        self.sim = sim
+        self.profile = profile
+        self.nics: Dict[str, NIC] = {}
+        self.counters = NetCounters()
+
+    def attach(self, endpoint: str) -> NIC:
+        """Register an endpoint; idempotent per name."""
+        nic = self.nics.get(endpoint)
+        if nic is None:
+            nic = NIC(self.sim, self.profile.bandwidth, name=endpoint)
+            self.nics[endpoint] = nic
+        return nic
+
+    def transfer(self, src: str, dst: str, nbytes: int, kind: str = ""):
+        """Move ``nbytes`` from ``src`` to ``dst`` (generator; yields events).
+
+        Local transfers (src == dst) cost nothing and are not counted —
+        the paper's network-traffic numbers are inter-node bytes.
+        """
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        if src == dst:
+            return
+        try:
+            src_nic = self.nics[src]
+            dst_nic = self.nics[dst]
+        except KeyError as missing:
+            raise KeyError(f"endpoint {missing.args[0]!r} not attached") from None
+        wire = nbytes + self.profile.header_bytes
+        self.counters.record(nbytes, kind)
+        src_nic.counters.record(nbytes, kind)
+        yield from src_nic.tx.use(src_nic.wire_time(wire))
+        yield self.sim.timeout(self.profile.base_latency)
+        yield from dst_nic.rx.use(dst_nic.wire_time(wire))

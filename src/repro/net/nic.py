@@ -1,0 +1,29 @@
+"""A full-duplex network port."""
+
+from __future__ import annotations
+
+from repro.metrics.counters import NetCounters
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource
+
+
+class NIC:
+    """One endpoint's network interface: independent tx and rx queues.
+
+    ``bandwidth`` is bytes/second per direction.  Serialisation of one
+    message holds the direction's resource for ``nbytes / bandwidth``; the
+    per-message fixed cost lives in the fabric's latency term.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: float, name: str = "nic"):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.name = name
+        self.tx = Resource(sim, capacity=1, name=f"{name}.tx")
+        self.rx = Resource(sim, capacity=1, name=f"{name}.rx")
+        self.counters = NetCounters()
+
+    def wire_time(self, nbytes: int) -> float:
+        return nbytes / self.bandwidth

@@ -1,0 +1,20 @@
+"""Failure injection and data recovery (paper §3.1.2, §4.2, Fig. 8b)."""
+
+from repro.recovery.recovery import (
+    RecoveryResult,
+    fail_osd,
+    recover_node,
+    recover_node_proc,
+    watch_and_recover,
+)
+from repro.recovery.scrub import ScrubReport, scrub
+
+__all__ = [
+    "RecoveryResult",
+    "ScrubReport",
+    "fail_osd",
+    "recover_node",
+    "recover_node_proc",
+    "scrub",
+    "watch_and_recover",
+]

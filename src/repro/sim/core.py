@@ -1,0 +1,182 @@
+"""The simulation kernel: clock, event heap and generator processes."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import Event, Interrupt, Timeout
+
+ProcessGen = Generator[Event, Any, Any]
+
+
+class Simulator:
+    """Owns the virtual clock and the pending-event heap.
+
+    Heap entries are ``(time, seq, event)``; ``seq`` is a monotone counter so
+    simultaneous events fire in scheduling order, which makes every run
+    deterministic for a fixed seed.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq: int = 0
+        self._active: int = 0  # live processes, for run-to-exhaustion checks
+        self._crashed: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # event construction helpers
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """A fresh pending event bound to this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` virtual seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcessGen, name: str = "") -> "Process":
+        """Register a generator as a concurrently-running process."""
+        return Process(self, gen, name=name)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` at absolute virtual time ``when`` (>= now)."""
+        if when < self.now:
+            raise ValueError(f"call_at past time {when} < now {self.now}")
+        ev = self.event(name="call_at")
+        ev.add_callback(lambda _ev: fn())
+        ev.succeed(delay=when - self.now)
+        return ev
+
+    # ------------------------------------------------------------------
+    # scheduling / main loop
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (+inf when idle)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Fire the single next event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        event._fire()
+        if self._crashed is not None:
+            exc, self._crashed = self._crashed, None
+            raise exc
+
+    def _crash(self, exc: BaseException) -> None:
+        """Record an exception from a process nobody was joining.
+
+        Raised out of :meth:`run` / :meth:`step` so bugs inside detached
+        background processes surface instead of vanishing.
+        """
+        if self._crashed is None:
+            self._crashed = exc
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the clock, firing events until the heap drains.
+
+        With ``until`` set, stops once the next event would fire after that
+        time and fast-forwards the clock exactly to ``until``.
+        """
+        if until is not None and until < self.now:
+            raise ValueError(f"until {until} < now {self.now}")
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+
+
+class Process(Event):
+    """A generator coroutine driven by the kernel.
+
+    The process itself is an event: it fires when the generator returns, and
+    its value is the generator's return value, so processes can ``yield``
+    other processes to join them.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: Simulator, gen: ProcessGen, name: str = ""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        sim._active += 1
+        # Kick off at the current instant via the heap, preserving ordering
+        # with respect to already-scheduled events.
+        boot = sim.event(name=f"boot:{self.name}")
+        boot.add_callback(lambda _ev: self._resume(None, None))
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self.triggered:
+            return
+        # Detach from whatever the process was waiting on: the stale event's
+        # callback must become a no-op.
+        ev = self.sim.event(name=f"interrupt:{self.name}")
+        ev.add_callback(lambda _ev: self._resume(None, Interrupt(cause)))
+        ev.succeed()
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Optional[Event], exc: Optional[BaseException]) -> None:
+        if self.triggered:
+            return
+        if event is not None and event is not self._waiting_on:
+            return  # stale wakeup after an interrupt re-routed the process
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            elif event is not None:
+                if event._exc is not None:
+                    target = self._gen.throw(event._exc)
+                else:
+                    target = self._gen.send(event._value)
+            else:
+                target = next(self._gen)
+        except StopIteration as stop:
+            self.sim._active -= 1
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt: treat as clean exit.
+            self.sim._active -= 1
+            self.succeed(None)
+            return
+        except BaseException as err:
+            self.sim._active -= 1
+            self.fail(err)
+            return
+        if not isinstance(target, Event):
+            self.sim._active -= 1
+            bad = TypeError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+            self.fail(bad)
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_wait_done)
+
+    def _on_wait_done(self, event: Event) -> None:
+        self._resume(event, None)
+
+    def _fire(self) -> None:
+        had_waiters = bool(self.callbacks)
+        super()._fire()
+        if self._exc is not None and not had_waiters and not self.callbacks:
+            self.sim._crash(self._exc)

@@ -1,0 +1,193 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot future living on a simulator's virtual
+timeline.  Processes wait on events by ``yield``-ing them; the kernel resumes
+the process when the event fires.  Events may carry a value (delivered as the
+result of the ``yield``) or an exception (raised inside the waiting process).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.core import Simulator
+
+PENDING = "pending"
+SCHEDULED = "scheduled"
+FIRED = "fired"
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    ``cause`` carries an arbitrary payload describing why (e.g. a node
+    failure notice during recovery experiments).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the virtual timeline.
+
+    Lifecycle: *pending* -> *scheduled* (``succeed``/``fail`` called, queued
+    on the heap) -> *fired* (callbacks executed).  Callbacks receive the
+    event itself.
+    """
+
+    __slots__ = ("sim", "callbacks", "_state", "_value", "_exc", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._state = PENDING
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` has been called."""
+        return self._state != PENDING
+
+    @property
+    def fired(self) -> bool:
+        """True once callbacks have run and the value is observable."""
+        return self._state == FIRED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event carries a value rather than an exception."""
+        return self._state == FIRED and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # ------------------------------------------------------------------
+    # triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire with ``value`` after ``delay``."""
+        if self._state != PENDING:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        self._state = SCHEDULED
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire by raising ``exc`` in its waiters."""
+        if self._state != PENDING:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._state = SCHEDULED
+        self._exc = exc
+        self.sim._schedule(self, delay)
+        return self
+
+    # ------------------------------------------------------------------
+    # kernel hook
+    # ------------------------------------------------------------------
+    def _fire(self) -> None:
+        self._state = FIRED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Run ``cb(event)`` when the event fires (immediately if fired)."""
+        if self._state == FIRED:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Event {self.name or hex(id(self))} {self._state}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        self._state = SCHEDULED
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf combinators over a fixed set of events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str):
+        super().__init__(sim, name=name)
+        self.events: List[Event] = list(events)
+        self._n_fired = 0
+        if not self.events:
+            # Vacuously satisfied.
+            self.succeed(self._collect())
+        else:
+            for ev in self.events:
+                ev.add_callback(self._on_child)
+
+    def _collect(self) -> List[Any]:
+        return [ev._value for ev in self.events if ev.fired and ev._exc is None]
+
+    def _on_child(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when *all* child events have fired.
+
+    Value is the list of child values in construction order.  If any child
+    fails, this condition fails with the first failure.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, name="all_of")
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+            return
+        self._n_fired += 1
+        if self._n_fired == len(self.events):
+            self.succeed([e._value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the *first* child event fires; value is ``(index, value)``."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, name="any_of")
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+            return
+        self.succeed((self.events.index(ev), ev._value))

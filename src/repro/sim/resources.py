@@ -1,0 +1,117 @@
+"""FIFO resources and message stores for the simulation kernel.
+
+:class:`Resource` models a server with finite capacity — a disk channel, one
+direction of a NIC, a recycle worker pool.  :class:`Store` is the unbounded
+FIFO queue used as an RPC mailbox between nodes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.core import Simulator
+from repro.sim.events import Event
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, sim: Simulator, resource: "Resource"):
+        super().__init__(sim, name=f"req:{resource.name}")
+        self.resource = resource
+
+
+class Resource:
+    """A FIFO multi-server resource.
+
+    ``request()`` returns an event that fires once a slot is free; the holder
+    must call ``release()`` exactly once.  Grants happen strictly in request
+    order, which models a single device queue.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> Request:
+        req = Request(self.sim, self)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req.succeed()
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"release() on idle resource {self.name!r}")
+        if self._queue:
+            nxt = self._queue.popleft()
+            nxt.succeed()
+        else:
+            self._in_use -= 1
+
+    def use(self, duration: float):
+        """A generator: acquire, hold for ``duration``, release.
+
+        Intended for ``yield from resource.use(dt)`` inside processes.
+        """
+        yield self.request()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release()
+
+
+class Store:
+    """An unbounded FIFO of items with blocking ``get``.
+
+    ``put`` never blocks (mailbox semantics); ``get`` returns an event that
+    fires with the next item, in arrival order, waking getters FIFO.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim, name=f"get:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking pop; ``None`` when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None

@@ -1,0 +1,32 @@
+"""Workload traces.
+
+The paper replays three proprietary/multi-GB block traces (Ali-Cloud,
+Ten-Cloud, MSR-Cambridge).  Offline we synthesise statistically equivalent
+streams from the marginals the paper itself reports (§2.1, §2.3.3, §5) —
+update fraction, request-size distribution, and spatio-temporal locality —
+using Zipf address popularity plus run-length spatial bursts.  DESIGN.md §2
+documents the substitution.
+
+* :class:`~repro.traces.synth.SyntheticTraceConfig` — the knobs;
+* :func:`~repro.traces.alicloud.alicloud_trace` — Ali-Cloud profile;
+* :func:`~repro.traces.tencloud.tencloud_trace` — Ten-Cloud profile;
+* :func:`~repro.traces.msr.msr_trace` — seven MSR-Cambridge volumes;
+* :class:`~repro.traces.replay.TraceReplayer` — closed-loop clients.
+"""
+
+from repro.traces.alicloud import alicloud_trace
+from repro.traces.msr import MSR_VOLUMES, msr_trace
+from repro.traces.replay import TraceReplayer
+from repro.traces.synth import SyntheticTraceConfig, TraceRecord, generate_trace
+from repro.traces.tencloud import tencloud_trace
+
+__all__ = [
+    "MSR_VOLUMES",
+    "SyntheticTraceConfig",
+    "TraceRecord",
+    "TraceReplayer",
+    "alicloud_trace",
+    "generate_trace",
+    "msr_trace",
+    "tencloud_trace",
+]

@@ -1,0 +1,121 @@
+"""The synthetic trace engine.
+
+A trace is a sequence of :class:`TraceRecord` update requests against one
+file's logical address space.  Generation combines:
+
+* a **size distribution** given as (size, probability) pairs — the paper
+  quotes these marginals for each trace family;
+* **temporal locality** via Zipf-distributed popularity over aligned pages
+  of a *hot working set* covering ``hot_fraction`` of the file (Ten-Cloud:
+  >80 % of volumes touch <5 % of their data, §2.3.3);
+* **spatial locality** via run bursts: with probability ``run_prob`` the
+  next request continues right after the previous one instead of jumping
+  to a fresh Zipf-sampled page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+PAGE = 4096
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One update request in file-logical coordinates."""
+
+    offset: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.size <= 0:
+            raise ValueError(f"invalid record ({self.offset}, {self.size})")
+
+
+@dataclass
+class SyntheticTraceConfig:
+    """Knobs of one trace family; see the per-family modules for values."""
+
+    name: str
+    # (size_bytes, probability) — probabilities must sum to 1.
+    size_dist: Sequence[Tuple[int, float]]
+    # Fraction of the file covered by the hot working set.
+    hot_fraction: float = 0.05
+    # Zipf skew over hot pages (higher = more temporal locality).
+    zipf_s: float = 1.1
+    # Probability the next request continues sequentially (spatial run).
+    run_prob: float = 0.3
+    # Fraction of requests that jump outside the hot set (cold tail).
+    cold_prob: float = 0.05
+
+    def __post_init__(self) -> None:
+        total = sum(p for _, p in self.size_dist)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"size distribution sums to {total}, expected 1")
+        if not 0 < self.hot_fraction <= 1:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0 <= self.run_prob < 1 or not 0 <= self.cold_prob <= 1:
+            raise ValueError("probabilities must be in [0, 1)")
+
+
+def _zipf_weights(n: int, s: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks ** (-s)
+    return w / w.sum()
+
+
+def generate_trace(
+    config: SyntheticTraceConfig,
+    file_size: int,
+    n_requests: int,
+    rng: np.random.Generator,
+) -> List[TraceRecord]:
+    """Materialise ``n_requests`` update records for a file of ``file_size``."""
+    if file_size < PAGE:
+        raise ValueError(f"file must be at least one page ({PAGE}B)")
+    n_pages = file_size // PAGE
+    hot_pages = max(1, int(n_pages * config.hot_fraction))
+    # A fixed random permutation scatters the hot set across the file so
+    # hot pages land on different blocks/OSDs.
+    perm = rng.permutation(n_pages)
+    hot = perm[:hot_pages]
+    weights = _zipf_weights(hot_pages, config.zipf_s)
+
+    sizes = np.array([s for s, _ in config.size_dist])
+    size_p = np.array([p for _, p in config.size_dist])
+
+    out: List[TraceRecord] = []
+    prev_end = None
+    for _ in range(n_requests):
+        size = int(rng.choice(sizes, p=size_p))
+        if prev_end is not None and rng.random() < config.run_prob:
+            offset = prev_end  # spatial run continuation
+        elif rng.random() < config.cold_prob:
+            offset = int(rng.integers(0, n_pages)) * PAGE
+        else:
+            offset = int(hot[rng.choice(hot_pages, p=weights)]) * PAGE
+        if offset + size > file_size:
+            offset = max(0, file_size - size)
+        out.append(TraceRecord(offset, size))
+        prev_end = offset + size
+    return out
+
+
+def update_stats(records: Sequence[TraceRecord]) -> dict:
+    """Summary statistics used by tests to validate trace marginals."""
+    sizes = np.array([r.size for r in records])
+    offsets = np.array([r.offset for r in records])
+    pages = set()
+    for r in records:
+        pages.update(range(r.offset // PAGE, (r.offset + r.size - 1) // PAGE + 1))
+    return {
+        "n": len(records),
+        "frac_le_4k": float(np.mean(sizes <= 4096)),
+        "frac_le_16k": float(np.mean(sizes <= 16384)),
+        "mean_size": float(sizes.mean()),
+        "distinct_pages": len(pages),
+        "max_offset": int((offsets + sizes).max()),
+    }

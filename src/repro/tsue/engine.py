@@ -1,0 +1,519 @@
+"""The per-OSD TSUE engine: front-end appends and the three-layer recycler.
+
+Data flow (Fig. 2 of the paper):
+
+1. **Front end** (synchronous): ``append_datalog`` puts the update into the
+   right DataLog pool (hash of the block identity), persists it with one
+   sequential device write, and the hosting strategy forwards a replica to
+   the ring neighbour before acking the client.
+2. **DataLog recycle** (async): merged segments per block -> one random
+   read + one random write on the data block per *merged* segment, deltas
+   forwarded to the DeltaLogs of the first two parity OSDs of the stripe.
+3. **DeltaLog recycle** (async, primary copy only): pure memory — Eq. (3)
+   same-offset folds and Eq. (5) cross-block combining — then per-parity
+   combined deltas forwarded to each ParityLog.
+4. **ParityLog recycle** (async): merged parity-delta segments -> one
+   random read + XOR + one random write on the parity block each.
+
+Ablation knobs (Fig. 7): O1/O2 toggle merged-vs-raw recycling in the
+Data/Parity logs, O3 toggles the multi-unit FIFO pool against a single
+mutually-exclusive unit, O4 sets pools per device, O5 toggles the DeltaLog
+layer entirely (off = parity deltas go straight from the DataLog recycler
+to the ParityLogs, one message per parity block per data delta).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gf.arithmetic import _MUL_TABLE
+from repro.logstruct.index import TwoLevelIndex
+from repro.logstruct.pool import LogPool
+from repro.logstruct.unit import ENTRY_HEADER_BYTES, LogUnit
+from repro.metrics.latency import ResidencyTracker
+from repro.sim.events import AllOf, Event, Interrupt
+from repro.sim.resources import Store
+
+BlockKey = Tuple[int, int, int]
+
+DATA = "data_log"
+DELTA = "delta_log"
+PARITY = "parity_log"
+
+
+@dataclass
+class TSUEConfig:
+    """Engine parameters; defaults follow §4.1/§5.3.2 of the paper."""
+
+    unit_bytes: int = 16 * 1024 * 1024
+    min_units: int = 2
+    max_units: int = 4
+    n_pools: int = 4
+    replicas: int = 2            # DataLog copies (1 primary + replicas-1)
+    use_delta_log: bool = True   # O5
+    use_locality_data: bool = True    # O1
+    use_locality_parity: bool = True  # O2
+    use_log_pool: bool = True    # O3 (off = one exclusive unit per pool)
+    recycle_workers: int = 4
+    flush_interval: float = 0.5  # scan period for the real-time flusher
+    flush_age: float = 1.0       # seal active units older than this
+    compression: Optional[str] = None  # future-work hook (§7); must be None
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.n_pools < 1:
+            raise ValueError("n_pools must be >= 1")
+        if self.compression is not None:
+            raise NotImplementedError(
+                "log compression is the paper's future work and not implemented"
+            )
+
+    def pool_kwargs(self, policy: str, keep_raw: bool) -> dict:
+        if self.use_log_pool:
+            return dict(
+                unit_capacity=self.unit_bytes,
+                min_units=self.min_units,
+                max_units=self.max_units,
+                policy=policy,
+                keep_raw=keep_raw,
+            )
+        # O3 off: one unit, appends must wait for its recycle (exclusive).
+        return dict(
+            unit_capacity=self.unit_bytes,
+            min_units=1,
+            max_units=1,
+            policy=policy,
+            keep_raw=keep_raw,
+        )
+
+
+class TSUEEngine:
+    """Per-OSD TSUE state machine."""
+
+    def __init__(self, osd, config: Optional[TSUEConfig] = None):
+        self.osd = osd
+        self.sim = osd.sim
+        self.cluster = osd.cluster
+        self.config = config or TSUEConfig()
+        cfg = self.config
+        self.residency = ResidencyTracker()
+
+        self.data_pools = [
+            LogPool(name=f"{osd.name}.dlog{i}", **cfg.pool_kwargs("overwrite", not cfg.use_locality_data))
+            for i in range(cfg.n_pools)
+        ]
+        self.delta_pools = [
+            LogPool(name=f"{osd.name}.xlog{i}", **cfg.pool_kwargs("xor", False))
+            for i in range(cfg.n_pools)
+        ]
+        self.parity_pools = [
+            LogPool(name=f"{osd.name}.plog{i}", **cfg.pool_kwargs("xor", not cfg.use_locality_parity))
+            for i in range(cfg.n_pools)
+        ]
+        self._recycle_queue: Store = Store(self.sim, name=f"{osd.name}.recycleq")
+        self._pending: Dict[str, int] = {DATA: 0, DELTA: 0, PARITY: 0}
+        self._idle_waiters: Dict[str, List[Event]] = {DATA: [], DELTA: [], PARITY: []}
+        self._space_waiters: Dict[int, List[Event]] = {}
+        self._procs = []
+        self._worker_queues: Dict[str, List[Store]] = {}
+        self._running = False
+        # Replica log device cursors (replica DataLog/DeltaLog: SSD only).
+        self._replica_bytes = 0
+
+        for layer, pools in (
+            (DATA, self.data_pools),
+            (DELTA, self.delta_pools),
+            (PARITY, self.parity_pools),
+        ):
+            for pool in pools:
+                pool.seal_listener = self._make_seal_listener(layer, pool)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        # One worker pool per layer.  This is a deadlock-freedom invariant,
+        # not just a tuning choice: DataLog recycle jobs block on remote
+        # DeltaLog appends, DeltaLog jobs block on remote ParityLog appends,
+        # and ParityLog jobs block only on the local device.  With a shared
+        # pool, data jobs on every node can occupy all workers while the
+        # appends they wait for need a recycle that has no worker left — a
+        # cycle.  Layered pools make the wait graph acyclic (parity ->
+        # device only), so the pipeline always drains.
+        n = max(1, self.config.recycle_workers)
+        per_layer = {DATA: max(1, n // 2), DELTA: max(1, n // 4), PARITY: max(1, n // 4)}
+        self._worker_queues = {}
+        for layer, count in per_layer.items():
+            queues = [
+                Store(self.sim, name=f"{self.osd.name}.{layer}.wq{w}")
+                for w in range(count)
+            ]
+            self._worker_queues[layer] = queues
+            for w, q in enumerate(queues):
+                self._procs.append(
+                    self.sim.process(self._worker(q), name=f"{self.osd.name}.{layer}.rw{w}")
+                )
+        self._procs.append(
+            self.sim.process(self._unit_manager(), name=f"{self.osd.name}.recycle-mgr")
+        )
+        self._procs.append(
+            self.sim.process(self._flush_loop(), name=f"{self.osd.name}.flush")
+        )
+
+    def stop(self) -> None:
+        self._running = False
+        for p in self._procs:
+            if p.is_alive:
+                p.interrupt("stop")
+        self._procs.clear()
+
+    # ------------------------------------------------------------------
+    # pool plumbing
+    # ------------------------------------------------------------------
+    def _pool_for(self, pools: List[LogPool], key: Hashable) -> LogPool:
+        return pools[hash(key) % len(pools)]
+
+    def _make_seal_listener(self, layer: str, pool: LogPool):
+        def on_seal(unit: LogUnit) -> None:
+            self._pending[layer] += 1
+            self._recycle_queue.put((layer, pool, unit))
+
+        return on_seal
+
+    def _wait_space(self, pool: LogPool) -> Event:
+        ev = self.sim.event(name=f"space:{pool.name}")
+        self._space_waiters.setdefault(id(pool), []).append(ev)
+        return ev
+
+    def _notify_space(self, pool: LogPool) -> None:
+        for ev in self._space_waiters.pop(id(pool), []):
+            if not ev.triggered:
+                ev.succeed()
+
+    def _append_with_backpressure(self, pools, zone: str, key, offset, data):
+        """Pool append + sequential device persist; waits when at quota."""
+        pool = self._pool_for(pools, key)
+        while not pool.append(key, offset, data, self.sim.now):
+            yield self._wait_space(pool)
+        yield from self.osd.device.write(
+            int(np.asarray(data).size) + ENTRY_HEADER_BYTES,
+            zone=f"{zone}{pools.index(pool)}",
+            pattern="seq",
+            overwrite=False,
+        )
+
+    # ------------------------------------------------------------------
+    # front end
+    # ------------------------------------------------------------------
+    def append_datalog(self, key: BlockKey, offset: int, data: np.ndarray):
+        yield from self._append_with_backpressure(
+            self.data_pools, "dlog", key, offset, data
+        )
+
+    def append_replica_datalog(self, key: BlockKey, offset: int, data: np.ndarray):
+        """Replica DataLog: persisted sequentially, no memory pool (§4.1)."""
+        yield from self.osd.device.write(
+            int(np.asarray(data).size) + ENTRY_HEADER_BYTES,
+            zone="dlog_rep",
+            pattern="seq",
+            overwrite=False,
+        )
+        self._replica_bytes += int(np.asarray(data).size)
+
+    def append_deltalog(self, key: BlockKey, entries, primary: bool):
+        """DeltaLog append: primary goes to the pool, replica persists only."""
+        if primary:
+            for offset, delta in entries:
+                yield from self._append_with_backpressure(
+                    self.delta_pools, "xlog", key, offset, delta
+                )
+        else:
+            total = sum(int(d.size) for _, d in entries)
+            yield from self.osd.device.write(
+                total + ENTRY_HEADER_BYTES,
+                zone="xlog_rep",
+                pattern="seq",
+                overwrite=False,
+            )
+            self._replica_bytes += total
+
+    def append_paritylog(self, pkey: BlockKey, entries):
+        for offset, pdelta in entries:
+            yield from self._append_with_backpressure(
+                self.parity_pools, "plog", pkey, offset, pdelta
+            )
+
+    # ------------------------------------------------------------------
+    # read cache
+    # ------------------------------------------------------------------
+    def read_overlay(self, key: BlockKey, offset: int, length: int):
+        pool = self._pool_for(self.data_pools, key)
+        frags = pool.cache_lookup_partial(key, offset, length)
+        return frags or None
+
+    # ------------------------------------------------------------------
+    # back end
+    # ------------------------------------------------------------------
+    def _flush_loop(self):
+        """Real-time recycle driver: seal aging active units periodically."""
+        cfg = self.config
+        shrink_every = max(1, int(round((10 * cfg.flush_age) / cfg.flush_interval)))
+        tick = 0
+        try:
+            while self._running:
+                yield self.sim.timeout(cfg.flush_interval)
+                tick += 1
+                now = self.sim.now
+                for pools in (self.data_pools, self.delta_pools, self.parity_pools):
+                    for pool in pools:
+                        active = pool.active
+                        if (
+                            active is not None
+                            and active.first_append_time is not None
+                            and now - active.first_append_time >= cfg.flush_age
+                        ):
+                            pool.flush_active(now)
+                        # Elastic shrink (§3.2.2): after a quiet stretch,
+                        # release RECYCLED units beyond the minimum.
+                        if tick % shrink_every == 0 and not pool.has_pending_recycle():
+                            pool.shrink()
+        except Interrupt:
+            return
+
+    def _unit_manager(self):
+        """Consumes sealed units in seal order and farms out per-block jobs.
+
+        Same-key jobs always land on the same worker queue (hash routing)
+        and worker queues are FIFO, so two units touching one block recycle
+        that block's entries in seal order — the paper's "log records for
+        the same block are assigned to the same recycle thread".  Different
+        units still recycle concurrently across workers.
+        """
+        try:
+            while self._running:
+                layer, pool, unit = yield self._recycle_queue.get()
+                unit.start_recycle(self.sim.now)
+                jobs = self._unit_jobs(layer, unit)
+                state = {
+                    "left": len(jobs),
+                    "layer": layer,
+                    "pool": pool,
+                    "unit": unit,
+                    "t0": self.sim.now,
+                }
+                if not jobs:
+                    self._finish_unit(state)
+                    continue
+                queues = self._worker_queues[layer]
+                for key, fn in jobs:
+                    queues[hash(key) % len(queues)].put((fn, state))
+        except Interrupt:
+            return
+
+    def _worker(self, queue: Store):
+        try:
+            while self._running:
+                fn, state = yield queue.get()
+                yield from fn()
+                state["left"] -= 1
+                if state["left"] == 0:
+                    self._finish_unit(state)
+        except Interrupt:
+            return
+
+    def _finish_unit(self, state) -> None:
+        layer, pool, unit = state["layer"], state["pool"], state["unit"]
+        unit.finish_recycle(self.sim.now)
+        n = max(1, len(unit.entries))
+        self.residency.record_buffer(layer, unit.mean_buffer_time())
+        self.residency.record_recycle(layer, (self.sim.now - state["t0"]) / n)
+        self._pending[layer] -= 1
+        self._notify_space(pool)
+        if self._pending[layer] == 0:
+            for ev in self._idle_waiters[layer]:
+                if not ev.triggered:
+                    ev.succeed()
+            self._idle_waiters[layer].clear()
+
+    def _unit_jobs(self, layer: str, unit: LogUnit):
+        """(routing_key, job_generator_fn) pairs for one sealed unit."""
+        if layer == DATA:
+            work = self._block_work(unit, self.config.use_locality_data)
+            return [
+                (key, (lambda k=key, p=pieces: self._recycle_data_block(k, p)))
+                for key, pieces in work.items()
+            ]
+        if layer == DELTA:
+            stripes: Dict[Tuple[int, int], Dict[int, list]] = {}
+            for key in unit.index.blocks():
+                inode, stripe, j = key
+                stripes.setdefault((inode, stripe), {})[j] = unit.index.segments(key)
+            return [
+                (sk, (lambda s=sk, pb=per_block: self._recycle_delta_stripe(s, pb)))
+                for sk, per_block in stripes.items()
+            ]
+        work = self._block_work(unit, self.config.use_locality_parity)
+        return [
+            (pkey, (lambda k=pkey, p=pieces: self._recycle_parity_block(k, p)))
+            for pkey, pieces in work.items()
+        ]
+
+    # -- DataLog ---------------------------------------------------------
+    def _block_work(self, unit: LogUnit, use_locality: bool):
+        """(key -> [(offset, payload)]) a recycler must process."""
+        work: Dict[Hashable, List[Tuple[int, np.ndarray]]] = {}
+        if use_locality:
+            for key in unit.index.blocks():
+                work[key] = [(s.offset, s.data) for s in unit.index.segments(key)]
+        else:
+            for e in unit.entries:
+                if e.data is None:
+                    raise RuntimeError(
+                        "raw-entry recycle requested but unit was not keep_raw"
+                    )
+                work.setdefault(e.key, []).append((e.offset, e.data))
+        return work
+
+    def _recycle_data_block(self, key: BlockKey, pieces):
+        """RMW the data block and forward deltas downstream."""
+        cfg = self.config
+        store = self.osd.store
+        deltas: List[Tuple[int, np.ndarray]] = []
+        for offset, data in pieces:
+            old = yield from store.read_range(key, offset, data.size, pattern="rand")
+            yield from store.write_range(key, offset, data, pattern="rand")
+            deltas.append((offset, old ^ data))
+        if not deltas:
+            return
+        inode, stripe, j = key
+        m = self.cluster.config.m
+        k = self.cluster.config.k
+        names = self.cluster.placement(inode, stripe)
+        nbytes = sum(int(d.size) for _, d in deltas)
+        if cfg.use_delta_log and m >= 2:
+            # Forward to the DeltaLogs of the first two parity OSDs: the
+            # first is the primary (it recycles), the second the replica.
+            calls = []
+            for rank, primary in ((0, True), (1, False)):
+                dst = names[k + rank]
+                calls.append(
+                    self.sim.process(
+                        self.osd.rpc(
+                            dst,
+                            "tsue_delta",
+                            {
+                                "key": key,
+                                "entries": deltas,
+                                "primary": primary,
+                            },
+                            nbytes=nbytes,
+                        )
+                    )
+                )
+            yield AllOf(self.sim, calls)
+        else:
+            # O5 off (or m == 1): scale per parity and go straight to the
+            # ParityLogs — one message per parity block.
+            calls = []
+            for p in range(m):
+                coeff = self.cluster.codec.coefficient(p, j)
+                pentries = [
+                    (off, _MUL_TABLE[coeff][d]) for off, d in deltas
+                ]
+                calls.append(
+                    self.sim.process(
+                        self.osd.rpc(
+                            names[k + p],
+                            "tsue_parity",
+                            {"pkey": (inode, stripe, k + p), "entries": pentries},
+                            nbytes=nbytes,
+                        )
+                    )
+                )
+            yield AllOf(self.sim, calls)
+
+    # -- DeltaLog --------------------------------------------------------
+    def _recycle_delta_stripe(self, stripe_key: Tuple[int, int], per_block):
+        """Eq. (3)/(5) combining, then per-parity forwards to ParityLogs.
+
+        Keys in the DeltaLog are data-block keys; the manager groups them by
+        stripe and this job folds every block's deltas into one combined
+        parity delta per parity block.  No device I/O happens here at all —
+        this layer's whole point is trading arithmetic for I/O and network
+        volume.
+        """
+        inode, stripe = stripe_key
+        k = self.cluster.config.k
+        m = self.cluster.config.m
+        names = self.cluster.placement(inode, stripe)
+        calls = []
+        for p in range(m):
+            pkey = (inode, stripe, k + p)
+            combined = TwoLevelIndex("xor")
+            for j, segs in per_block.items():
+                coeff = self.cluster.codec.coefficient(p, j)
+                for s in segs:
+                    combined.insert(pkey, s.offset, _MUL_TABLE[coeff][s.data])
+            entries = [(s.offset, s.data) for s in combined.segments(pkey)]
+            if not entries:
+                continue
+            nbytes = sum(int(d.size) for _, d in entries)
+            calls.append(
+                self.sim.process(
+                    self.osd.rpc(
+                        names[k + p],
+                        "tsue_parity",
+                        {"pkey": pkey, "entries": entries},
+                        nbytes=nbytes,
+                    )
+                )
+            )
+        if calls:
+            yield AllOf(self.sim, calls)
+
+    # -- ParityLog -------------------------------------------------------
+    def _recycle_parity_block(self, pkey: BlockKey, pieces):
+        for offset, pdelta in pieces:
+            yield from self.osd.store.xor_range(pkey, offset, pdelta, pattern="rand")
+
+    # ------------------------------------------------------------------
+    # drain support
+    # ------------------------------------------------------------------
+    def _layer_pools(self, layer: str) -> List[LogPool]:
+        return {DATA: self.data_pools, DELTA: self.delta_pools, PARITY: self.parity_pools}[layer]
+
+    def drain_layer(self, layer: str):
+        """Seal every active unit of a layer and wait until all recycled."""
+        for pool in self._layer_pools(layer):
+            pool.flush_active(self.sim.now)
+        while self._pending[layer] > 0:
+            ev = self.sim.event(name=f"idle:{layer}")
+            self._idle_waiters[layer].append(ev)
+            yield ev
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def log_memory_bytes(self) -> int:
+        return sum(
+            p.memory_bytes
+            for pools in (self.data_pools, self.delta_pools, self.parity_pools)
+            for p in pools
+        )
+
+    def peak_log_memory_bytes(self) -> int:
+        return sum(
+            p.peak_memory_bytes
+            for pools in (self.data_pools, self.delta_pools, self.parity_pools)
+            for p in pools
+        )
+
+    def pending_recycles(self) -> int:
+        return sum(self._pending.values())

@@ -1,0 +1,65 @@
+"""Erasure-code update strategies.
+
+One class per method the paper evaluates (§2.2, §5), all behind the common
+:class:`~repro.update.base.UpdateStrategy` interface hosted by each OSD:
+
+* :class:`~repro.update.fo.FOStrategy` — full overwrite, in place everywhere;
+* :class:`~repro.update.fl.FLStrategy` — full logging (extra baseline, §2.2);
+* :class:`~repro.update.pl.PLStrategy` — parity logging, deferred recycle;
+* :class:`~repro.update.plr.PLRStrategy` — parity logging w/ reserved space;
+* :class:`~repro.update.parix.PARIXStrategy` — speculative partial writes;
+* :class:`~repro.update.cord.CoRDStrategy` — collector + delta combining;
+* :class:`~repro.update.tsue_strategy.TSUEStrategy` — the paper's method
+  (engine in :mod:`repro.tsue`).
+
+``make_strategy_factory(name, **params)`` builds the per-OSD factory the
+cluster constructor expects.
+"""
+
+from repro.update.base import UpdateStrategy
+from repro.update.cord import CoRDStrategy
+from repro.update.fl import FLStrategy
+from repro.update.fo import FOStrategy
+from repro.update.parix import PARIXStrategy
+from repro.update.pl import PLStrategy
+from repro.update.plr import PLRStrategy
+from repro.update.tsue_strategy import TSUEStrategy
+
+STRATEGIES = {
+    "fo": FOStrategy,
+    "fl": FLStrategy,
+    "pl": PLStrategy,
+    "plr": PLRStrategy,
+    "parix": PARIXStrategy,
+    "cord": CoRDStrategy,
+    "tsue": TSUEStrategy,
+}
+
+
+def make_strategy_factory(name: str, **params):
+    """A ``factory(osd) -> UpdateStrategy`` for :class:`repro.cluster.Cluster`."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown update method {name!r}; choose from {sorted(STRATEGIES)}"
+        ) from None
+
+    def factory(osd):
+        return cls(osd, **params)
+
+    return factory
+
+
+__all__ = [
+    "CoRDStrategy",
+    "FLStrategy",
+    "FOStrategy",
+    "PARIXStrategy",
+    "PLRStrategy",
+    "PLStrategy",
+    "STRATEGIES",
+    "TSUEStrategy",
+    "UpdateStrategy",
+    "make_strategy_factory",
+]

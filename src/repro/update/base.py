@@ -1,0 +1,105 @@
+"""The strategy interface every update method implements.
+
+An OSD constructs one strategy instance at boot.  The strategy:
+
+* serves the synchronous path: :meth:`on_update` runs inside the OSD's
+  ``update`` RPC handler and returns when the client may be acked;
+* optionally runs background processes (log recyclers) between
+  :meth:`start_background` / :meth:`stop_background`;
+* can overlay logged-but-unrecycled data onto reads via
+  :meth:`read_overlay` (log-as-read-cache, §3.3.3);
+* must be able to :meth:`drain` — push every pending log entry into data
+  and parity blocks — so recovery and consistency checks can run.
+
+Helper generators shared by the in-place family (FO/PL/PLR/CoRD) live here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+BlockKey = Tuple[int, int, int]
+
+
+class UpdateStrategy:
+    """Base class; concrete methods override the hooks they need."""
+
+    name = "base"
+
+    def __init__(self, osd):
+        self.osd = osd
+        self.sim = osd.sim
+        self.cluster = osd.cluster
+        self.register_handlers()
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def register_handlers(self) -> None:
+        """Register strategy-specific RPC kinds on the hosting OSD."""
+
+    def on_update(self, key: BlockKey, offset: int, data: np.ndarray):
+        """Synchronous update path (generator).  Ack when it returns."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def start_background(self) -> None:
+        """Boot recycler processes (called after the cluster starts)."""
+
+    def stop_background(self) -> None:
+        """Stop recycler processes (called before teardown)."""
+
+    def drain(self, phase: int = 0):
+        """Flush pending log state (generator).
+
+        Strategies with multi-hop pipelines are drained in phases by the
+        harness: phase 0, then 1, then 2 across *all* OSDs, so cross-OSD
+        forwards from phase N land before phase N+1 runs.  Single-hop
+        strategies only need phase 0.
+        """
+        if False:  # pragma: no cover - default is a no-op generator
+            yield
+
+    DRAIN_PHASES = 1
+
+    def read_overlay(
+        self, key: BlockKey, offset: int, length: int
+    ) -> Optional[List[Tuple[int, np.ndarray]]]:
+        """Logged fragments overlapping a read, or None if not applicable."""
+        return None
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def rmw_delta(self, key: BlockKey, offset: int, data: np.ndarray):
+        """The in-place family's front half: read old, write new, delta.
+
+        Two small random I/Os on the data block — precisely the cost TSUE
+        removes from the critical path.
+        """
+        old = yield from self.osd.store.read_range(key, offset, data.size, pattern="rand")
+        yield from self.osd.store.write_range(key, offset, data, pattern="rand")
+        return old ^ data
+
+    def parity_targets(self, key: BlockKey) -> List[Tuple[int, str]]:
+        """(parity_index, osd_name) for each parity block of the stripe."""
+        inode, stripe, _ = key
+        names = self.cluster.placement(inode, stripe)
+        k = self.cluster.config.k
+        return [(p, names[k + p]) for p in range(self.cluster.config.m)]
+
+    def parity_key(self, key: BlockKey, parity_index: int) -> BlockKey:
+        inode, stripe, _ = key
+        return (inode, stripe, self.cluster.config.k + parity_index)
+
+    def apply_parity_delta(self, parity_block_key: BlockKey, offset: int, pdelta: np.ndarray):
+        """Random RMW of a parity range with a ready parity delta.
+
+        Uses the commutative XOR primitive so concurrent applications to
+        the same parity range never lose an update.
+        """
+        yield from self.osd.store.xor_range(
+            parity_block_key, offset, pdelta, pattern="rand"
+        )

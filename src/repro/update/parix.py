@@ -1,0 +1,300 @@
+"""PARIX — speculative partial writes (Li et al., ATC'17; §2.2).
+
+PARIX skips the write-after-read on the data path by forwarding the *new
+data* itself to the parity logs; parity deltas are computed lazily at
+recycle from (original, latest) pairs.  The catch: the first update to a
+location must also ship the *original* data so the parity side can ever
+compute a delta — a second, serialized round trip (the "2x network latency"
+of Fig. 1) — and data blocks still update in place (random write).
+
+Temporal locality is exploited (repeat updates to a location are one hop);
+spatial locality is not (the paper's critique).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.logstruct.index import TwoLevelIndex
+from repro.logstruct.intervals import IntervalSet
+from repro.sim.events import AllOf
+from repro.update.base import BlockKey, UpdateStrategy
+
+PARIX_HEADER = 32
+
+
+class PARIXStrategy(UpdateStrategy):
+    """Speculative logging of raw data at the parity OSDs."""
+
+    name = "parix"
+    # Phase 0 recycles parity-side logs; phase 1 resets the data-side
+    # speculation state (safe only once *every* OSD finished phase 0).
+    DRAIN_PHASES = 2
+
+    def __init__(self, osd, recycle_threshold_bytes: int = 512 * 1024):
+        # Data-OSD side: which byte ranges of each local block already
+        # shipped their original bytes to the parity logs.  Byte-granular:
+        # a page partially covered by one update is still "first" for the
+        # uncovered bytes of the next one.
+        self.seen: Dict[BlockKey, IntervalSet] = {}
+        # Parity-OSD side: per data-block original and latest data images.
+        self.orig_index = TwoLevelIndex("overwrite")
+        self.latest_index = TwoLevelIndex("overwrite")
+        self.log_entries: Dict[BlockKey, List[Tuple[int, int]]] = {}
+        self.log_bytes = 0
+        self.orig_bytes = 0  # live original images (survive compaction)
+        self.first_updates = 0
+        self.repeat_updates = 0
+        self.threshold_recycles = 0
+        # PARIX logs *full data* (originals + every new version), so unlike
+        # PL's compact delta logs the space budget is really exhausted
+        # in-window and recycle must run during operation.  Appends run
+        # concurrently with each other but are excluded while the log is
+        # being compacted (the log structure is being rewritten under them).
+        self.recycle_threshold_bytes = recycle_threshold_bytes
+        self._recycling = False
+        self._recycle_waiters = []
+        super().__init__(osd)
+
+    def _wait_not_recycling(self):
+        while self._recycling:
+            ev = self.sim.event(name="parix-recycle-wait")
+            self._recycle_waiters.append(ev)
+            yield ev
+
+    def _begin_recycle(self) -> None:
+        self._recycling = True
+
+    def _end_recycle(self) -> None:
+        self._recycling = False
+        waiters, self._recycle_waiters = self._recycle_waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed()
+
+    def register_handlers(self) -> None:
+        self.osd.register("parix_append", self._h_append)
+
+    def _background_recycle(self):
+        """Compaction: appends are excluded only while the dirty segments
+        are scanned; live-original rewrite (goes to fresh segments) and the
+        parity RMW application proceed with appends flowing again.
+        """
+        try:
+            jobs, live_share = yield from self._scan_and_pop_locked()
+        finally:
+            self._end_recycle()
+        if live_share:
+            yield from self.osd.device.write(
+                live_share, zone="parix_log", pattern="seq", overwrite=False
+            )
+        if jobs:
+            yield AllOf(self.sim, jobs)
+
+    def _make_patches(self, key, segs, k):
+        """Compute parity patches for one block's popped segments.
+
+        Runs synchronously at pop time (no yields): the delta against the
+        current originals and the refresh of those originals must be one
+        atomic step, or a later pop could pair new data with a stale
+        original while this epoch's patch is still in flight.
+        """
+        inode, stripe, j = key
+        p = self._my_parity_index(inode, stripe)
+        pkey = (inode, stripe, k + p)
+        patches = []
+        for seg in segs:
+            orig = self.orig_index.lookup(key, seg.offset, seg.length)
+            if orig is None:
+                raise RuntimeError(
+                    f"PARIX missing original bytes for {key} @{seg.offset}"
+                )
+            delta = orig ^ seg.data
+            patches.append((pkey, seg.offset, self.cluster.codec.parity_delta(j, p, delta)))
+            # Refresh: once this patch lands, these values are the new
+            # parity-consistent originals for the range.
+            self.orig_index.insert(key, seg.offset, seg.data)
+        return patches
+
+    def _apply_patches(self, patches):
+        """Device application of precomputed patches (XOR commutes)."""
+        for pkey, offset, pdelta in patches:
+            yield from self.apply_parity_delta(pkey, offset, pdelta)
+
+    # ------------------------------------------------------------------
+    # data-OSD side
+    # ------------------------------------------------------------------
+    def on_update(self, key: BlockKey, offset: int, data: np.ndarray):
+        seen = self.seen.setdefault(key, IntervalSet())
+        first = not seen.covers(offset, offset + int(data.size))
+        targets = self.parity_targets(key)
+        if first:
+            self.first_updates += 1
+            # Must capture the original before overwriting, and ship it to
+            # every parity log *before* the speculative write is acked:
+            # a serialized second round trip.
+            old = yield from self.osd.store.read_range(
+                key, offset, data.size, pattern="rand"
+            )
+            calls = [
+                self.sim.process(
+                    self.osd.rpc(
+                        osd_name,
+                        "parix_append",
+                        {"key": key, "offset": offset, "data": old, "orig": True},
+                        nbytes=int(old.size),
+                    )
+                )
+                for _p, osd_name in targets
+            ]
+            yield AllOf(self.sim, calls)
+            seen.add(offset, offset + int(data.size))
+        else:
+            self.repeat_updates += 1
+        yield from self.osd.store.write_range(key, offset, data, pattern="rand")
+        calls = [
+            self.sim.process(
+                self.osd.rpc(
+                    osd_name,
+                    "parix_append",
+                    {"key": key, "offset": offset, "data": data, "orig": False},
+                    nbytes=int(data.size),
+                )
+            )
+            for _p, osd_name in targets
+        ]
+        if calls:
+            yield AllOf(self.sim, calls)
+
+    # ------------------------------------------------------------------
+    # parity-OSD side
+    # ------------------------------------------------------------------
+    def _h_append(self, msg):
+        p = msg.payload
+        key, offset, data = p["key"], p["offset"], p["data"]
+        # Live originals survive compaction, so the trigger is on
+        # *reclaimable* bytes; compacting a log of live data frees nothing.
+        reclaimable = self.log_bytes - self.orig_bytes
+        if (
+            reclaimable + data.size > self.recycle_threshold_bytes
+            and not self._recycling
+        ):
+            # Space exhausted: compact the log.  The single log structure
+            # is rewritten during compaction, so appends (and the client
+            # acks behind them) are excluded until it completes — the
+            # single-log exclusivity §2.2 criticises.
+            self.threshold_recycles += 1
+            self._begin_recycle()
+            self.sim.process(self._background_recycle())
+        yield from self._wait_not_recycling()
+        yield from self.osd.device.write(
+            int(data.size) + PARIX_HEADER, zone="parix_log", pattern="seq", overwrite=False
+        )
+        if p["orig"]:
+            self._insert_orig_uncovered(key, offset, data)
+        else:
+            self.latest_index.insert(key, offset, data)
+            self.log_entries.setdefault(key, []).append((offset, int(data.size)))
+        self.log_bytes += int(data.size)
+        return {"ok": True}, 8
+
+    def _insert_orig_uncovered(self, key, offset: int, data: np.ndarray) -> None:
+        """Originals are first-wins: never clobber an earlier original."""
+        covered = self.orig_index.lookup_partial(key, offset, int(data.size))
+        have = np.zeros(int(data.size), dtype=bool)
+        for a, frag in covered:
+            have[a - offset : a - offset + frag.size] = True
+        idx = np.flatnonzero(~have)
+        if idx.size == 0:
+            return
+        breaks = np.flatnonzero(np.diff(idx) > 1)
+        starts = np.concatenate(([0], breaks + 1))
+        ends = np.concatenate((breaks, [idx.size - 1]))
+        for s_i, e_i in zip(starts, ends):
+            lo, hi = int(idx[s_i]), int(idx[e_i]) + 1
+            self.orig_index.insert(key, offset + lo, data[lo:hi])
+            self.orig_bytes += hi - lo
+
+    # ------------------------------------------------------------------
+    def _my_parity_index(self, inode: int, stripe: int) -> int:
+        k = self.cluster.config.k
+        names = self.cluster.placement(inode, stripe)
+        for p in range(self.cluster.config.m):
+            if names[k + p] == self.osd.name:
+                return p
+        raise RuntimeError(f"{self.osd.name} hosts no parity block of stripe {stripe}")
+
+    def _scan_and_pop_locked(self):
+        """Scan + rewrite the log (appends excluded), pop pending state.
+
+        Merged per temporal locality, no cross-block combining.  After the
+        application jobs run, the *latest* values become the new originals —
+        the parity block then reflects them — so speculation keeps working
+        across recycle epochs without the data side re-shipping originals.
+
+        Returns the spawned per-block application processes and the number
+        of live-original bytes the caller must rewrite to fresh segments.
+        """
+        if not self.log_entries:
+            return [], 0
+        n_entries = sum(len(v) for v in self.log_entries.values())
+        scan_bytes_nominal = self.log_bytes
+        # Segmented cleaning: only the reclaimable share of the log is
+        # scanned, plus the live originals interleaved within it (roughly
+        # one live byte per dead byte in the cleaned segments) — a cleaner
+        # never re-reads the whole log on every cycle.
+        reclaimable = max(0, self.log_bytes - self.orig_bytes)
+        live_share = min(self.orig_bytes, reclaimable)
+        yield from self.osd.device.read(
+            reclaimable + live_share + PARIX_HEADER * n_entries,
+            zone="parix_log",
+            pattern="seq",
+        )
+        k = self.cluster.config.k
+        jobs = []
+        for key in list(self.log_entries):
+            # Pop this block's pending state *before* any yield: appends
+            # arriving mid-recycle start a fresh ledger for the key and are
+            # handled by the next recycle instead of being lost.  Patch
+            # computation (and orig refresh) happens here, atomically.
+            self.log_entries.pop(key)
+            segs = self.latest_index.pop_block(key)
+            if segs:
+                patches = self._make_patches(key, segs, k)
+                jobs.append(self.sim.process(self._apply_patches(patches)))
+        # Accounting: entries appended mid-scan survive in the fresh
+        # ledgers and are charged on top; live originals are rewritten by
+        # the caller.
+        appended_mid_recycle = max(0, self.log_bytes - scan_bytes_nominal)
+        self.log_bytes = self.orig_bytes + appended_mid_recycle
+        return jobs, live_share
+
+    def _recycle_all_locked(self):
+        """Full synchronous compaction (drain path)."""
+        jobs, live_share = yield from self._scan_and_pop_locked()
+        if live_share:
+            yield from self.osd.device.write(
+                live_share, zone="parix_log", pattern="seq", overwrite=False
+            )
+        if jobs:
+            yield AllOf(self.sim, jobs)
+
+    def drain(self, phase: int = 0):
+        if phase == 0:
+            yield from self._wait_not_recycling()
+            self._begin_recycle()
+            try:
+                yield from self._recycle_all_locked()
+            finally:
+                self._end_recycle()
+        else:
+            # Post-recycle, parity state matches on-disk data: the next
+            # update to any location is a "first" again and must re-ship
+            # originals.
+            self.seen.clear()
+            yield self.sim.timeout(0)
+
+    def pending_log_bytes(self) -> int:
+        return self.log_bytes

@@ -1,0 +1,125 @@
+"""PLR — Parity Logging with Reserved space (Chan et al., FAST'14; §2.2).
+
+Parity deltas land in a reserved region *adjacent to each parity block*.
+Appends therefore scatter across as many on-device locations as there are
+active parity blocks — random writes, not a sequential log — and when a
+block's reserved region fills, it must be recycled *synchronously* before
+the append completes, stalling the update.  Both effects are why the paper
+measures PLR as the slowest method on SSDs (3.9x-10.1x behind TSUE).
+
+The recycle itself is cheaper than PL's: deltas sit next to the parity
+block, so the log read is sequential and the parity RMW is a single
+adjacent read+write per merged segment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.logstruct.index import TwoLevelIndex
+from repro.sim.events import AllOf
+from repro.update.base import BlockKey, UpdateStrategy
+
+PLR_HEADER = 32
+
+
+class PLRStrategy(UpdateStrategy):
+    """Reserved-space parity logging with synchronous region recycle."""
+
+    name = "plr"
+
+    def __init__(self, osd, reserve_bytes: int = 6 * 1024):
+        self.reserve_bytes = reserve_bytes
+        self.log_index = TwoLevelIndex("xor")
+        self.region_used: Dict[BlockKey, int] = {}
+        self.region_entries: Dict[BlockKey, List[Tuple[int, int]]] = {}
+        self.sync_recycles = 0
+        super().__init__(osd)
+
+    def register_handlers(self) -> None:
+        self.osd.register("plr_append", self._h_append)
+
+    # ------------------------------------------------------------------
+    def on_update(self, key: BlockKey, offset: int, data: np.ndarray):
+        delta = yield from self.rmw_delta(key, offset, data)
+        calls = []
+        for p, osd_name in self.parity_targets(key):
+            pdelta = self.cluster.codec.parity_delta(key[2], p, delta)
+            calls.append(
+                self.sim.process(
+                    self.osd.rpc(
+                        osd_name,
+                        "plr_append",
+                        {
+                            "pkey": self.parity_key(key, p),
+                            "offset": offset,
+                            "pdelta": pdelta,
+                        },
+                        nbytes=int(pdelta.size),
+                    )
+                )
+            )
+        if calls:
+            yield AllOf(self.sim, calls)
+
+    def _h_append(self, msg):
+        p = msg.payload
+        pkey = p["pkey"]
+        pdelta = p["pdelta"]
+        used = self.region_used.get(pkey, 0)
+        if used + pdelta.size + PLR_HEADER > self.reserve_bytes:
+            # Reserved space exhausted: recycle this region *now*, blocking
+            # the append (and the client ack behind it).
+            yield from self._recycle_region(pkey)
+            used = 0
+        # Reserved regions are scattered across the device: the append is a
+        # random write into this block's private region.
+        yield from self.osd.device.write(
+            int(pdelta.size) + PLR_HEADER,
+            zone=f"plr:{pkey}",
+            offset=used,
+            pattern="rand",
+            overwrite=False,
+        )
+        self.log_index.insert(pkey, p["offset"], pdelta)
+        self.region_used[pkey] = used + int(pdelta.size) + PLR_HEADER
+        self.region_entries.setdefault(pkey, []).append((p["offset"], int(pdelta.size)))
+        return {"ok": True}, 8
+
+    # ------------------------------------------------------------------
+    def _recycle_region(self, pkey: BlockKey):
+        """Merge the reserved region into its parity chunk.
+
+        The region sits next to the chunk, so the log read is sequential —
+        PLR's advantage over PL — but merging rewrites the *whole parity
+        chunk* (read chunk, XOR deltas in, write chunk back), the classic
+        reserved-space compaction.  With a small reserve this runs every
+        few appends, squarely on the update path.
+        """
+        used = self.region_used.get(pkey, 0)
+        if used == 0:
+            return
+        self.sync_recycles += 1
+        # Log read is sequential (the region is contiguous next to the block).
+        yield from self.osd.device.read(used, zone=f"plr:{pkey}", offset=0, pattern="seq")
+        segs = self.log_index.pop_block(pkey)
+        blk = self.osd.store._materialize(pkey)
+        chunk = self.osd.store.block_size
+        base = self.osd.store.device_offset(pkey)
+        yield from self.osd.device.read(chunk, zone="blocks", offset=base, pattern="rand")
+        yield from self.osd.device.write(
+            chunk, zone="blocks", offset=base, pattern="rand", overwrite=True
+        )
+        for seg in segs:
+            blk[seg.offset : seg.end] ^= seg.data
+        self.region_used[pkey] = 0
+        self.region_entries[pkey] = []
+
+    def drain(self, phase: int = 0):
+        for pkey in list(self.region_used):
+            yield from self._recycle_region(pkey)
+
+    def pending_log_bytes(self) -> int:
+        return sum(self.region_used.values())

@@ -1,0 +1,100 @@
+"""TSUE as an :class:`UpdateStrategy` (front end + handler wiring).
+
+The synchronous path is exactly Fig. 2's front end: append the raw update to
+the local DataLog (one sequential write), forward it to the ring-neighbour
+replica DataLog, ack.  Everything else lives in :class:`repro.tsue.TSUEEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.events import AllOf
+from repro.tsue.engine import DATA, DELTA, PARITY, TSUEConfig, TSUEEngine
+from repro.update.base import BlockKey, UpdateStrategy
+
+
+class TSUEStrategy(UpdateStrategy):
+    """The paper's two-stage update method."""
+
+    name = "tsue"
+    DRAIN_PHASES = 3
+
+    def __init__(self, osd, config: Optional[TSUEConfig] = None, **kwargs):
+        if config is None:
+            config = TSUEConfig(**kwargs)
+        elif kwargs:
+            raise ValueError("pass either a TSUEConfig or keyword overrides")
+        self.engine = TSUEEngine(osd, config)
+        super().__init__(osd)
+
+    # ------------------------------------------------------------------
+    def register_handlers(self) -> None:
+        self.osd.register("tsue_replica", self._h_replica)
+        self.osd.register("tsue_delta", self._h_delta)
+        self.osd.register("tsue_parity", self._h_parity)
+
+    def start_background(self) -> None:
+        self.engine.start()
+
+    def stop_background(self) -> None:
+        self.engine.stop()
+
+    # ------------------------------------------------------------------
+    # front end
+    # ------------------------------------------------------------------
+    def on_update(self, key: BlockKey, offset: int, data: np.ndarray):
+        t0 = self.sim.now
+        yield from self.engine.append_datalog(key, offset, data)
+        n_replicas = self.engine.config.replicas - 1
+        if n_replicas > 0:
+            calls = []
+            me = self.osd.index
+            n = self.cluster.config.n_osds
+            for r in range(1, n_replicas + 1):
+                dst = f"osd{(me + r) % n}"
+                calls.append(
+                    self.sim.process(
+                        self.osd.rpc(
+                            dst,
+                            "tsue_replica",
+                            {"key": key, "offset": offset, "data": data},
+                            nbytes=int(data.size),
+                        )
+                    )
+                )
+            yield AllOf(self.sim, calls)
+        self.engine.residency.record_append(DATA, self.sim.now - t0)
+
+    # ------------------------------------------------------------------
+    # handlers (back-end hops)
+    # ------------------------------------------------------------------
+    def _h_replica(self, msg):
+        p = msg.payload
+        yield from self.engine.append_replica_datalog(p["key"], p["offset"], p["data"])
+        return {"ok": True}, 8
+
+    def _h_delta(self, msg):
+        p = msg.payload
+        t0 = self.sim.now
+        yield from self.engine.append_deltalog(p["key"], p["entries"], p["primary"])
+        if p["primary"]:
+            self.engine.residency.record_append(DELTA, self.sim.now - t0)
+        return {"ok": True}, 8
+
+    def _h_parity(self, msg):
+        p = msg.payload
+        t0 = self.sim.now
+        yield from self.engine.append_paritylog(p["pkey"], p["entries"])
+        self.engine.residency.record_append(PARITY, self.sim.now - t0)
+        return {"ok": True}, 8
+
+    # ------------------------------------------------------------------
+    def read_overlay(self, key, offset, length):
+        return self.engine.read_overlay(key, offset, length)
+
+    def drain(self, phase: int = 0):
+        layer = (DATA, DELTA, PARITY)[phase]
+        yield from self.engine.drain_layer(layer)

@@ -1,0 +1,106 @@
+"""Tests for cluster assembly and placement."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, placement
+from repro.sim import Simulator
+from repro.update import make_strategy_factory
+
+
+def make_cluster(**kw):
+    defaults = dict(n_osds=8, k=4, m=2, block_size=1024, seed=5)
+    defaults.update(kw)
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(**defaults), make_strategy_factory("fo"))
+    return sim, cluster
+
+
+def test_placement_distinct_osds_per_stripe():
+    for stripe in range(20):
+        idx = placement(16, 10, inode=3, stripe=stripe)
+        assert len(set(idx)) == 10
+        assert all(0 <= i < 16 for i in idx)
+
+
+def test_placement_rotates_across_stripes():
+    starts = {placement(16, 8, 1, s)[0] for s in range(50)}
+    assert len(starts) > 4  # parity load spreads
+
+
+def test_placement_width_validation():
+    with pytest.raises(ValueError):
+        placement(4, 5, 0, 0)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(n_osds=4, k=4, m=2)
+    with pytest.raises(ValueError):
+        ClusterConfig(device_kind="tape")
+
+
+def test_cluster_builds_nodes_and_routes():
+    sim, cluster = make_cluster()
+    assert len(cluster.osds) == 8
+    assert cluster.mds.name == "mds"
+    names = cluster.placement(7, 0)
+    assert len(names) == 6
+    assert cluster.osd_of_block(7, 0, 2) == names[2]
+
+
+def test_replica_of_is_ring_successor():
+    sim, cluster = make_cluster()
+    assert cluster.replica_of("osd0") == "osd1"
+    assert cluster.replica_of("osd7") == "osd0"
+
+
+def test_instant_load_and_stripe_consistency():
+    sim, cluster = make_cluster()
+    data = np.arange(2 * 4 * 1024, dtype=np.uint8).astype(np.uint8)  # 2 stripes
+    cluster.instant_load_file(42, data)
+    assert cluster.stripe_consistent(42, 0)
+    assert cluster.stripe_consistent(42, 1)
+    # Corrupt one parity block: consistency must fail.
+    names = cluster.placement(42, 0)
+    osd = cluster.osd_by_name(names[4])
+    osd.store.blocks[(42, 0, 4)][0] ^= 0xFF
+    assert not cluster.stripe_consistent(42, 0)
+
+
+def test_instant_load_size_validation():
+    sim, cluster = make_cluster()
+    with pytest.raises(ValueError):
+        cluster.instant_load_file(1, np.zeros(100, dtype=np.uint8))
+
+
+def test_sparse_file_is_consistent_by_linearity():
+    sim, cluster = make_cluster()
+    cluster.register_sparse_file(9, 4 * 1024 * 3)  # 3 stripes
+    # All-zero data encodes to all-zero parity: consistent without bytes.
+    assert cluster.stripe_consistent(9, 0)
+    assert 9 in cluster.mds.files
+    with pytest.raises(ValueError):
+        cluster.register_sparse_file(10, 100)
+
+
+def test_counter_aggregation_spans_all_osds():
+    sim, cluster = make_cluster()
+
+    def one_write(osd):
+        yield from osd.store.write_range((1, 0, 0), 0, np.ones(8, dtype=np.uint8))
+
+    for osd in cluster.osds[:3]:
+        sim.process(one_write(osd))
+    sim.run()
+    assert cluster.total_ops().write_ops == 3
+    assert cluster.total_wear().erase_ops > 0
+
+
+def test_mds_classifies_first_write_vs_update():
+    sim, cluster = make_cluster()
+    meta = cluster.mds.register_file(5, 8192)
+    assert meta.is_update(0, 100)
+    fresh = cluster.mds.files[5]
+    # A brand-new file region beyond the registered size is not yet written.
+    assert not fresh.is_update(1 << 20, 10)

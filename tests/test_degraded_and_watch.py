@@ -1,0 +1,199 @@
+"""Tests for degraded reads, MDS-driven recovery, and elastic shrink."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.recovery import fail_osd, recover_node, watch_and_recover
+from repro.sim import Simulator
+from repro.update import make_strategy_factory
+
+K, M, BLOCK = 4, 2, 2048
+
+
+def build(method="fo", n_osds=8, **params):
+    sim = Simulator()
+    if method == "tsue" and not params:
+        params = dict(unit_bytes=8 * 1024, flush_age=0.01, flush_interval=0.005)
+    cluster = Cluster(
+        sim,
+        ClusterConfig(n_osds=n_osds, k=K, m=M, block_size=BLOCK, seed=13,
+                      client_overhead_s=0.0),
+        make_strategy_factory(method, **params),
+    )
+    return sim, cluster
+
+
+def run_to(sim, proc):
+    while not proc.fired and sim.peek() != float("inf"):
+        sim.step()
+    assert proc.fired
+    return proc.value
+
+
+def load(cluster, inode=600, stripes=2, seed=1):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, stripes * K * BLOCK, dtype=np.uint8)
+    cluster.instant_load_file(inode, data)
+    return data
+
+
+def test_degraded_read_decodes_lost_data_block():
+    sim, cluster = build()
+    data = load(cluster)
+    client = cluster.add_client("c0")
+    cluster.start()
+    # Take down the OSD holding data block 1 of stripe 0.
+    victim = cluster.placement(600, 0)[1]
+    fail_osd(cluster, victim)
+
+    def rd():
+        return (yield from client.read(600, BLOCK + 100, 64, down={victim}))
+
+    got = run_to(sim, sim.process(rd()))
+    cluster.stop()
+    assert np.array_equal(got, data[BLOCK + 100 : BLOCK + 164])
+
+
+def test_degraded_read_spanning_live_and_dead_blocks():
+    sim, cluster = build()
+    data = load(cluster)
+    client = cluster.add_client("c0")
+    cluster.start()
+    victim = cluster.placement(600, 0)[0]
+    fail_osd(cluster, victim)
+
+    def rd():
+        # Crosses from dead block 0 into live block 1.
+        return (yield from client.read(600, BLOCK - 32, 64, down={victim}))
+
+    got = run_to(sim, sim.process(rd()))
+    cluster.stop()
+    assert np.array_equal(got, data[BLOCK - 32 : BLOCK + 32])
+
+
+def test_degraded_read_costs_more_than_normal_read():
+    sim, cluster = build()
+    load(cluster)
+    client = cluster.add_client("c0")
+    cluster.start()
+    victim = cluster.placement(600, 0)[1]
+
+    def normal():
+        t0 = sim.now
+        yield from client.read(600, BLOCK + 100, 64)
+        return sim.now - t0
+
+    t_normal = run_to(sim, sim.process(normal()))
+    reads_before = cluster.total_ops().read_ops
+    fail_osd(cluster, victim)
+
+    def degraded():
+        t0 = sim.now
+        yield from client.read(600, BLOCK + 100, 64, down={victim})
+        return sim.now - t0
+
+    t_degraded = run_to(sim, sim.process(degraded()))
+    reads_during = cluster.total_ops().read_ops - reads_before
+    cluster.stop()
+    # k whole-block pulls (parallel, so latency grows only modestly) vs
+    # one range read; the device-op count shows the real amplification.
+    assert t_degraded > t_normal
+    assert reads_during >= K
+
+
+def test_degraded_read_beyond_m_failures_raises():
+    sim, cluster = build(n_osds=8)
+    load(cluster)
+    client = cluster.add_client("c0")
+    cluster.start()
+    names = cluster.placement(600, 0)
+    down = set(names[:3])  # 3 > m=2 failures in one stripe
+
+    def rd():
+        try:
+            yield from client.read(600, 100, 16, down=down)
+        except RuntimeError as e:
+            return str(e)
+
+    msg = run_to(sim, sim.process(rd()))
+    cluster.stop()
+    assert "unrecoverable" in msg
+
+
+def test_watch_and_recover_detects_and_rebuilds():
+    sim, cluster = build("fo")
+    data = load(cluster)
+    cluster.start()
+    # Heartbeats from every OSD; then one dies.
+    for osd in cluster.osds:
+        sim.process(osd.heartbeat_loop(interval=0.2))
+    victim = cluster.placement(600, 0)[0]
+    watcher = sim.process(watch_and_recover(cluster, check_interval=0.3))
+    sim.call_at(1.0, lambda: fail_osd(cluster, victim))
+    # Give failed-heartbeat detection time (timeout is 3 s).
+    while not watcher.fired and sim.peek() != float("inf") and sim.now < 30.0:
+        sim.step()
+    assert watcher.fired
+    result = watcher.value
+    cluster.stop()
+    assert result.failed_osd == victim
+    assert result.correct
+    assert result.blocks_recovered > 0
+
+
+def test_recover_node_driver_equivalent_to_proc():
+    sim, cluster = build("fo")
+    load(cluster)
+    cluster.start()
+    victim = cluster.placement(600, 1)[2]
+    res = recover_node(cluster, victim)
+    cluster.stop()
+    assert res.correct
+
+
+def test_flush_loop_shrinks_idle_pools():
+    """The engine's flush loop periodically releases spare RECYCLED units.
+
+    Growth itself is covered by the pool unit tests; here we grow a pool by
+    hand (as a recycle-lag episode would) and check the engine's periodic
+    shrink pass returns it to the minimum once idle.
+    """
+    sim, cluster = build(
+        "tsue", unit_bytes=2 * 1024, min_units=2, max_units=6, n_pools=1,
+        flush_age=0.01, flush_interval=0.005,
+    )
+    cluster.start()
+    engine = cluster.osds[0].strategy.engine
+    pool = engine.data_pools[0]
+    # Simulate a burst that outran the recycler: grow to max, then mark
+    # everything recycled (as the recycler eventually would).
+    while pool.unit_count < pool.max_units:
+        pool._new_unit()
+        pool.units[-1].state = __import__("repro.logstruct.states", fromlist=["UnitState"]).UnitState.RECYCLED
+    assert pool.unit_count == 6
+    sim.run(until=sim.now + 2.0)
+    cluster.stop()
+    assert pool.unit_count == pool.min_units
+
+
+def test_cli_run_smoke(capsys):
+    from repro.cli import main
+
+    rc = main(["run", "--method", "fo", "--clients", "2", "--updates", "5",
+               "--k", "4", "--m", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "aggregate IOPS" in out
+    assert "verified       : True" in out
+
+
+def test_cli_parser_covers_all_artifacts():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for cmd in ("run", "fig5", "fig6a", "fig6b", "fig7", "fig8a", "fig8b",
+                "table1", "table2", "lifespan"):
+        # Must parse without error.
+        args = parser.parse_args([cmd] if cmd != "run" else ["run"])
+        assert args.cmd == cmd

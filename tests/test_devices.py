@@ -1,0 +1,186 @@
+"""Tests for the storage device models."""
+
+import pytest
+
+from repro.devices import HDD, SSD, HDD_2TB_7200, SSD_DATACENTER_400GB, StorageDevice
+from repro.sim import Simulator
+
+
+def test_ssd_random_small_io_much_slower_than_sequential():
+    sim = Simulator()
+    ssd = SSD(sim)
+    seq = ssd.service_time("write", 4096, sequential=True)
+    rand = ssd.service_time("write", 4096, sequential=False)
+    assert rand > 2.5 * seq  # the premise the paper exploits
+
+
+def test_hdd_random_penalty_is_huge():
+    sim = Simulator()
+    hdd = HDD(sim)
+    seq = hdd.service_time("read", 4096, sequential=True)
+    rand = hdd.service_time("read", 4096, sequential=False)
+    assert rand > 25 * seq
+
+
+def test_service_time_monotone_in_size():
+    sim = Simulator()
+    ssd = SSD(sim)
+    for seq in (True, False):
+        assert ssd.service_time("read", 8192, seq) > ssd.service_time("read", 4096, seq)
+
+
+def test_service_time_validation():
+    sim = Simulator()
+    ssd = SSD(sim)
+    with pytest.raises(ValueError):
+        ssd.service_time("erase", 4096, True)
+    with pytest.raises(ValueError):
+        ssd.service_time("read", -1, True)
+
+
+def test_profile_type_enforcement():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        SSD(sim, profile=HDD_2TB_7200)
+    with pytest.raises(ValueError):
+        HDD(sim, profile=SSD_DATACENTER_400GB)
+
+
+def test_auto_classification_by_zone_head():
+    sim = Simulator()
+    ssd = SSD(sim)
+    assert ssd.classify("log", 0, 100) is False  # first touch: random
+    assert ssd.classify("log", 100, 50) is True  # continues
+    assert ssd.classify("log", 500, 50) is False  # jump
+    assert ssd.classify("log", 550, 50) is True
+
+
+def test_zones_have_independent_heads():
+    sim = Simulator()
+    ssd = SSD(sim)
+    ssd.classify("a", 0, 10)
+    ssd.classify("b", 100, 10)
+    assert ssd.classify("a", 10, 10) is True
+    assert ssd.classify("b", 110, 10) is True
+
+
+def test_read_write_advance_clock_and_count():
+    sim = Simulator()
+    ssd = SSD(sim)
+
+    def proc(sim, ssd):
+        yield from ssd.write(4096, zone="blk", offset=0, pattern="rand", overwrite=True)
+        yield from ssd.read(4096, zone="blk", offset=0, pattern="rand")
+
+    p = sim.process(proc(sim, ssd))
+    sim.run()
+    assert p.ok
+    expected = ssd.service_time("write", 4096, False) + ssd.service_time(
+        "read", 4096, False
+    )
+    assert sim.now == pytest.approx(expected)
+    c = ssd.counters
+    assert c.write_ops_rand == 1 and c.read_ops_rand == 1
+    assert c.overwrite_ops == 1 and c.overwrite_bytes == 4096
+
+
+def test_channels_parallelize_io():
+    sim = Simulator()
+    ssd = SSD(sim)
+    n = ssd.profile.channels
+
+    def one_io(sim, ssd):
+        yield from ssd.read(4096, pattern="rand")
+
+    for _ in range(2 * n):
+        sim.process(one_io(sim, ssd))
+    sim.run()
+    # Two waves of `channels` concurrent commands: twice one service time.
+    assert sim.now == pytest.approx(2 * ssd.service_time("read", 4096, False))
+
+
+def test_hdd_few_channels_serialize():
+    sim = Simulator()
+    hdd = HDD(sim)
+    n = hdd.profile.channels
+
+    def one_io(sim, hdd):
+        yield from hdd.read(4096, pattern="rand")
+
+    for _ in range(3 * n):
+        sim.process(one_io(sim, hdd))
+    sim.run()
+    assert sim.now == pytest.approx(3 * hdd.service_time("read", 4096, False))
+
+
+def test_wear_random_overwrite_erases_more_than_sequential():
+    sim = Simulator()
+    a, b = SSD(sim, name="a"), SSD(sim, name="b")
+
+    def do(ssd, pattern):
+        for i in range(64):
+            yield from ssd.write(
+                4096, zone="blk", offset=i * 4096, pattern=pattern, overwrite=True
+            )
+
+    sim.process(do(a, "rand"))
+    sim.process(do(b, "seq"))
+    sim.run()
+    assert a.erase_ops > 2 * b.erase_ops
+    assert a.page_writes > b.page_writes
+
+
+def test_fresh_append_wear_is_minimal():
+    sim = Simulator()
+    ssd = SSD(sim)
+
+    def do(ssd):
+        for i in range(16):
+            yield from ssd.write(
+                16384, zone="log", offset=i * 16384, pattern="seq", overwrite=False
+            )
+
+    sim.process(do(ssd))
+    sim.run()
+    # 16*16 KiB / 256 KiB erase blocks = 1 erase-equivalent.
+    assert ssd.erase_ops == pytest.approx(1.0)
+
+
+def test_hdd_has_no_flash_wear():
+    sim = Simulator()
+    hdd = HDD(sim)
+
+    def do(hdd):
+        yield from hdd.write(4096, pattern="rand", overwrite=True)
+
+    sim.process(do(hdd))
+    sim.run()
+    assert hdd.wear.erase_ops == 0
+    assert hdd.counters.overwrite_ops == 1
+
+
+def test_trace_hook_sees_requests():
+    sim = Simulator()
+    ssd = SSD(sim)
+    seen = []
+    ssd.trace_hook = seen.append
+
+    def do(ssd):
+        yield from ssd.write(100, zone="z", offset=0, pattern="seq")
+
+    sim.process(do(ssd))
+    sim.run()
+    assert len(seen) == 1
+    assert (seen[0].op, seen[0].nbytes, seen[0].sequential) == ("write", 100, True)
+
+
+def test_bad_pattern_rejected():
+    sim = Simulator()
+    ssd = SSD(sim)
+
+    def do(ssd):
+        yield from ssd.read(10, pattern="zigzag")
+
+    sim.process(do(ssd))
+    with pytest.raises(ValueError):
+        sim.run()

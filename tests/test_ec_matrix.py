@@ -1,0 +1,111 @@
+"""Tests for GF matrix algebra and code-matrix constructions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import (
+    cauchy_matrix,
+    gf_matinv,
+    gf_matmul,
+    systematic_cauchy,
+    systematic_vandermonde,
+    vandermonde_matrix,
+)
+
+
+def test_matmul_identity():
+    rng = np.random.default_rng(0)
+    m = rng.integers(0, 256, (5, 5), dtype=np.uint8)
+    eye = np.eye(5, dtype=np.uint8)
+    assert np.array_equal(gf_matmul(eye, m), m)
+    assert np.array_equal(gf_matmul(m, eye), m)
+
+
+def test_matmul_shape_checks():
+    a = np.zeros((2, 3), dtype=np.uint8)
+    b = np.zeros((4, 2), dtype=np.uint8)
+    with pytest.raises(ValueError):
+        gf_matmul(a, b)
+    with pytest.raises(ValueError):
+        gf_matmul(a[0], b)
+
+
+@settings(deadline=None)
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=2**32))
+def test_matinv_roundtrip(n, seed):
+    rng = np.random.default_rng(seed)
+    # Rejection-sample a nonsingular matrix.
+    for _ in range(64):
+        m = rng.integers(0, 256, (n, n), dtype=np.uint8)
+        try:
+            inv = gf_matinv(m)
+        except np.linalg.LinAlgError:
+            continue
+        eye = np.eye(n, dtype=np.uint8)
+        assert np.array_equal(gf_matmul(m, inv), eye)
+        assert np.array_equal(gf_matmul(inv, m), eye)
+        return
+    pytest.skip("no nonsingular sample found (improbable)")
+
+
+def test_matinv_singular_raises():
+    m = np.zeros((3, 3), dtype=np.uint8)
+    with pytest.raises(np.linalg.LinAlgError):
+        gf_matinv(m)
+
+
+def test_matinv_requires_square():
+    with pytest.raises(ValueError):
+        gf_matinv(np.zeros((2, 3), dtype=np.uint8))
+
+
+def test_vandermonde_shape_and_first_column():
+    v = vandermonde_matrix(6, 4)
+    assert v.shape == (6, 4)
+    assert np.all(v[:, 0] == 1)
+    # Row 1 is 1^j = 1.
+    assert np.all(v[1] == 1)
+
+
+def test_systematic_vandermonde_top_is_identity():
+    for k, m in [(2, 2), (6, 3), (12, 4)]:
+        g = systematic_vandermonde(k, m)
+        assert g.shape == (k + m, k)
+        assert np.array_equal(g[:k], np.eye(k, dtype=np.uint8))
+
+
+def test_systematic_vandermonde_is_mds():
+    # Every k-subset of rows must be invertible (MDS property); spot-check
+    # exhaustively for a small code.
+    from itertools import combinations
+
+    k, m = 4, 3
+    g = systematic_vandermonde(k, m)
+    for rows in combinations(range(k + m), k):
+        gf_matinv(g[list(rows)])  # must not raise
+
+
+def test_systematic_cauchy_is_mds():
+    from itertools import combinations
+
+    k, m = 4, 3
+    g = systematic_cauchy(k, m)
+    for rows in combinations(range(k + m), k):
+        gf_matinv(g[list(rows)])
+
+
+def test_cauchy_matrix_entries_nonzero():
+    c = cauchy_matrix(6, 4)
+    assert c.shape == (4, 6)
+    assert np.all(c != 0)
+
+
+def test_km_validation():
+    with pytest.raises(ValueError):
+        systematic_vandermonde(0, 2)
+    with pytest.raises(ValueError):
+        systematic_cauchy(255, 3)
+    with pytest.raises(ValueError):
+        vandermonde_matrix(300, 2)

@@ -1,0 +1,192 @@
+"""Tests for the RS codec and the incremental-update identities (Eqs. 2-5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import RSCodec, combine_deltas, merge_delta, parity_delta
+
+BLOCK = 128
+
+
+def _blocks(rng, k, size=BLOCK):
+    return [rng.integers(0, 256, size, dtype=np.uint8) for _ in range(k)]
+
+
+@pytest.fixture(params=["vandermonde", "cauchy"])
+def construction(request):
+    return request.param
+
+
+@pytest.mark.parametrize("k,m", [(2, 2), (6, 2), (6, 3), (6, 4), (12, 4)])
+def test_encode_decode_roundtrip_after_max_loss(k, m, construction):
+    rng = np.random.default_rng(k * 31 + m)
+    codec = RSCodec(k, m, construction)
+    data = _blocks(rng, k)
+    parity = codec.encode(data)
+    shards = {i: b for i, b in enumerate(data)}
+    shards.update({k + i: p for i, p in enumerate(parity)})
+    # Drop m shards, mixing data and parity.
+    lost = list(range(0, m - 1)) + [k]  # m-1 data blocks + 1 parity block
+    for b in lost:
+        del shards[b]
+    rebuilt = codec.reconstruct(shards, lost)
+    for b in lost:
+        expected = data[b] if b < k else parity[b - k]
+        assert np.array_equal(rebuilt[b], expected)
+
+
+def test_decode_requires_k_shards():
+    codec = RSCodec(4, 2)
+    rng = np.random.default_rng(0)
+    data = _blocks(rng, 4)
+    shards = {0: data[0], 1: data[1], 2: data[2]}
+    with pytest.raises(ValueError, match="at least k"):
+        codec.decode(shards)
+
+
+def test_unequal_block_sizes_rejected():
+    codec = RSCodec(2, 1)
+    with pytest.raises(ValueError, match="equal-length"):
+        codec.encode([np.zeros(4, dtype=np.uint8), np.zeros(8, dtype=np.uint8)])
+
+
+def test_unknown_construction_rejected():
+    with pytest.raises(ValueError):
+        RSCodec(4, 2, construction="fountain")
+
+
+def test_reconstruct_index_range_checked():
+    codec = RSCodec(2, 1)
+    rng = np.random.default_rng(0)
+    data = _blocks(rng, 2)
+    parity = codec.encode(data)
+    shards = {0: data[0], 1: data[1], 2: parity[0]}
+    with pytest.raises(ValueError):
+        codec.reconstruct(shards, [5])
+
+
+# ----------------------------------------------------------------------
+# Eq. (2): single-update parity delta
+# ----------------------------------------------------------------------
+@settings(deadline=None)
+@given(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=2**32),
+)
+def test_eq2_parity_delta_equals_full_reencode(data_index, seed):
+    rng = np.random.default_rng(seed)
+    codec = RSCodec(6, 3)
+    data = _blocks(rng, 6)
+    parity = codec.encode(data)
+    new_block = rng.integers(0, 256, BLOCK, dtype=np.uint8)
+    delta = data[data_index] ^ new_block
+    data2 = list(data)
+    data2[data_index] = new_block
+    expected = codec.encode(data2)
+    for p in range(3):
+        patched = codec.apply_update(parity[p], data_index, p, delta)
+        assert np.array_equal(patched, expected[p])
+
+
+def test_eq2_partial_offset_update():
+    rng = np.random.default_rng(7)
+    codec = RSCodec(4, 2)
+    data = _blocks(rng, 4)
+    parity = codec.encode(data)
+    # Update 16 bytes at offset 32 of block 2.
+    patch = rng.integers(0, 256, 16, dtype=np.uint8)
+    delta = data[2][32:48] ^ patch
+    data2 = [b.copy() for b in data]
+    data2[2][32:48] = patch
+    expected = codec.encode(data2)
+    for p in range(2):
+        got = codec.apply_update(parity[p], 2, p, delta, offset=32)
+        assert np.array_equal(got, expected[p])
+
+
+def test_apply_update_overrun_rejected():
+    codec = RSCodec(2, 1)
+    parity = np.zeros(8, dtype=np.uint8)
+    with pytest.raises(ValueError, match="overruns"):
+        codec.apply_update(parity, 0, 0, np.ones(4, dtype=np.uint8), offset=6)
+
+
+# ----------------------------------------------------------------------
+# Eq. (3): same-location deltas merge by XOR
+# ----------------------------------------------------------------------
+@settings(deadline=None)
+@given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=2, max_value=5))
+def test_eq3_n_updates_collapse_to_one_delta(seed, n_updates):
+    rng = np.random.default_rng(seed)
+    codec = RSCodec(4, 2)
+    data = _blocks(rng, 4)
+    parity = codec.encode(data)
+    versions = [data[1]] + [
+        rng.integers(0, 256, BLOCK, dtype=np.uint8) for _ in range(n_updates)
+    ]
+    # Fold the per-step deltas via Eq. (3)...
+    folded = np.zeros(BLOCK, dtype=np.uint8)
+    for old, new in zip(versions, versions[1:]):
+        folded = merge_delta(folded, old ^ new)
+    # ...which must equal the first-to-last delta of Eq. (4).
+    assert np.array_equal(folded, versions[0] ^ versions[-1])
+    data2 = list(data)
+    data2[1] = versions[-1]
+    expected = codec.encode(data2)
+    for p in range(2):
+        patched = codec.apply_update(parity[p], 1, p, folded)
+        assert np.array_equal(patched, expected[p])
+
+
+def test_merge_delta_shape_mismatch():
+    with pytest.raises(ValueError):
+        merge_delta(np.zeros(4, dtype=np.uint8), np.zeros(5, dtype=np.uint8))
+
+
+# ----------------------------------------------------------------------
+# Eq. (5): cross-block delta combining
+# ----------------------------------------------------------------------
+@settings(deadline=None)
+@given(st.integers(min_value=0, max_value=2**32))
+def test_eq5_combined_delta_equals_sequential_patches(seed):
+    rng = np.random.default_rng(seed)
+    codec = RSCodec(6, 3)
+    data = _blocks(rng, 6)
+    parity = codec.encode(data)
+    updated = {1: None, 2: None, 4: None}
+    deltas = {}
+    data2 = list(data)
+    for j in updated:
+        nb = rng.integers(0, 256, BLOCK, dtype=np.uint8)
+        deltas[j] = data[j] ^ nb
+        data2[j] = nb
+    expected = codec.encode(data2)
+    for p in range(3):
+        combined = codec.combine_deltas(p, deltas)
+        patched = parity[p] ^ combined
+        assert np.array_equal(patched, expected[p])
+
+
+def test_combine_deltas_validation():
+    codec = RSCodec(4, 2)
+    with pytest.raises(ValueError, match="no deltas"):
+        codec.combine_deltas(0, {})
+    with pytest.raises(ValueError, match="equal-length"):
+        codec.combine_deltas(
+            0, {0: np.zeros(4, dtype=np.uint8), 1: np.zeros(8, dtype=np.uint8)}
+        )
+
+
+def test_module_level_helpers_match_codec():
+    rng = np.random.default_rng(3)
+    codec = RSCodec(4, 2)
+    d = rng.integers(0, 256, 32, dtype=np.uint8)
+    coeff = codec.coefficient(1, 2)
+    assert np.array_equal(
+        parity_delta(coeff, d), codec.parity_delta(2, 1, d)
+    )
+    assert np.array_equal(
+        combine_deltas(codec.parity_matrix, 1, {2: d}), codec.parity_delta(2, 1, d)
+    )

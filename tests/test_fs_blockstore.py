@@ -1,0 +1,113 @@
+"""Tests for the block store."""
+
+import numpy as np
+import pytest
+
+from repro.devices import SSD
+from repro.fs.blockstore import BlockStore
+from repro.sim import Simulator
+
+
+def make_store(block_size=256):
+    sim = Simulator()
+    dev = SSD(sim)
+    return sim, dev, BlockStore(sim, dev, block_size)
+
+
+def run(sim, gen):
+    p = sim.process(gen)
+    sim.run()
+    return p.value
+
+
+def test_block_size_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        BlockStore(sim, SSD(sim), 0)
+
+
+def test_write_then_read_roundtrip():
+    sim, dev, store = make_store()
+    data = np.arange(256, dtype=np.uint8)
+    run(sim, store.write_block("b", data))
+    got = run(sim, store.read_range("b", 10, 5))
+    assert np.array_equal(got, data[10:15])
+
+
+def test_write_block_size_mismatch():
+    sim, dev, store = make_store()
+
+    def go():
+        yield from store.write_block("b", np.zeros(100, dtype=np.uint8))
+
+    sim.process(go())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_fresh_write_is_not_overwrite_second_is():
+    sim, dev, store = make_store()
+    data = np.zeros(256, dtype=np.uint8)
+    run(sim, store.write_block("b", data))
+    assert dev.counters.overwrite_ops == 0
+    run(sim, store.write_block("b", data))
+    assert dev.counters.overwrite_ops == 1
+
+
+def test_write_range_materializes_zero_block():
+    sim, dev, store = make_store()
+    run(sim, store.write_range("sparse", 100, np.full(4, 9, dtype=np.uint8)))
+    blk = store.peek("sparse")
+    assert blk[99] == 0 and list(blk[100:104]) == [9, 9, 9, 9]
+    assert dev.counters.overwrite_ops == 1  # range updates are write-penalty
+
+
+def test_range_validation():
+    sim, dev, store = make_store()
+
+    def go():
+        yield from store.read_range("b", 250, 10)
+
+    sim.process(go())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_xor_range_is_commutative_under_interleaving():
+    sim, dev, store = make_store()
+    d1 = np.full(8, 0b0101, dtype=np.uint8)
+    d2 = np.full(8, 0b0011, dtype=np.uint8)
+    # Two concurrent xor_range calls on the same range.
+    sim.process(store.xor_range("b", 0, d1))
+    sim.process(store.xor_range("b", 0, d2))
+    sim.run()
+    assert np.array_equal(store.peek("b")[:8], d1 ^ d2)
+
+
+def test_device_offsets_are_stable_and_disjoint():
+    sim, dev, store = make_store()
+    o1 = store.device_offset("a")
+    o2 = store.device_offset("b")
+    assert o1 != o2
+    assert store.device_offset("a") == o1
+    assert abs(o2 - o1) >= store.block_size
+
+
+def test_install_and_peek_cost_nothing():
+    sim, dev, store = make_store()
+    store.install("x", np.ones(256, dtype=np.uint8))
+    assert sim.now == 0.0
+    assert dev.counters.rw_ops == 0
+    assert store.peek("x")[0] == 1
+    assert store.peek("ghost") is None
+    with pytest.raises(ValueError):
+        store.install("y", np.ones(3, dtype=np.uint8))
+
+
+def test_reads_cost_device_time():
+    sim, dev, store = make_store()
+    run(sim, store.write_range("b", 0, np.ones(16, dtype=np.uint8)))
+    t0 = sim.now
+    run(sim, store.read_range("b", 0, 16))
+    assert sim.now > t0
+    assert dev.counters.read_ops == 1

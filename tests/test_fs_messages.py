@@ -1,0 +1,149 @@
+"""Tests for the RPC substrate."""
+
+import pytest
+
+from repro.fs.messages import MSG_OVERHEAD, Message, RpcHost
+from repro.net import Fabric, NET_25GBE
+from repro.sim import Simulator
+
+
+def make_pair():
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    a = RpcHost(sim, fab, "a")
+    b = RpcHost(sim, fab, "b")
+    peers = {"a": a, "b": b}
+    a.connect(peers)
+    b.connect(peers)
+    return sim, fab, a, b
+
+
+def test_rpc_roundtrip_returns_reply_payload():
+    sim, fab, a, b = make_pair()
+
+    def echo(msg):
+        yield sim.timeout(0)
+        return {"echo": msg.payload["x"] * 2}, 8
+
+    b.register("echo", echo)
+    a.start()
+    b.start()
+
+    def caller():
+        reply = yield from a.rpc("b", "echo", {"x": 21}, nbytes=8)
+        return reply["echo"]
+
+    p = sim.process(caller())
+    sim.run(until=1.0)
+    assert p.value == 42
+    assert sim.now > 0  # transfers cost time
+
+
+def test_rpc_counts_both_directions():
+    sim, fab, a, b = make_pair()
+
+    def noop(msg):
+        yield sim.timeout(0)
+        return {}, 100
+
+    b.register("noop", noop)
+    a.start()
+    b.start()
+    p = sim.process(a.rpc("b", "noop", {}, nbytes=50))
+    sim.run(until=1.0)
+    assert p.fired
+    assert fab.counters.messages == 2
+    assert fab.counters.bytes_sent == (50 + MSG_OVERHEAD) + (100 + MSG_OVERHEAD)
+
+
+def test_send_is_one_way():
+    sim, fab, a, b = make_pair()
+    got = []
+
+    def sink(msg):
+        yield sim.timeout(0)
+        got.append(msg.payload["v"])
+
+    b.register("sink", sink)
+    a.start()
+    b.start()
+    sim.process(a.send("b", "sink", {"v": 7}, nbytes=4))
+    sim.run(until=1.0)
+    assert got == [7]
+    assert fab.counters.messages == 1
+
+
+def test_concurrent_handlers_interleave():
+    sim, fab, a, b = make_pair()
+    order = []
+
+    def slow(msg):
+        yield sim.timeout(0.5)
+        order.append("slow")
+        return {}, 0
+
+    def fast(msg):
+        yield sim.timeout(0.1)
+        order.append("fast")
+        return {}, 0
+
+    b.register("slow", slow)
+    b.register("fast", fast)
+    a.start()
+    b.start()
+    sim.process(a.rpc("b", "slow", {}, nbytes=0))
+    sim.process(a.rpc("b", "fast", {}, nbytes=0))
+    sim.run(until=2.0)
+    assert order == ["fast", "slow"]  # dispatcher does not serialize handlers
+
+
+def test_missing_handler_fails_caller():
+    sim, fab, a, b = make_pair()
+    a.start()
+    b.start()
+
+    def caller():
+        try:
+            yield from a.rpc("b", "ghost", {}, nbytes=0)
+        except KeyError as e:
+            return f"err:{e}"
+
+    p = sim.process(caller())
+    sim.run(until=1.0)
+    assert "ghost" in p.value
+
+
+def test_unknown_route_raises():
+    sim, fab, a, b = make_pair()
+    a.start()
+
+    def caller():
+        yield from a.rpc("nowhere", "x", {}, nbytes=0)
+
+    sim.process(caller())
+    with pytest.raises(KeyError):
+        sim.run(until=1.0)
+
+
+def test_duplicate_handler_registration_rejected():
+    sim, fab, a, _ = make_pair()
+    a.register("k", lambda msg: None)
+    with pytest.raises(ValueError):
+        a.register("k", lambda msg: None)
+
+
+def test_stop_halts_dispatch():
+    sim, fab, a, b = make_pair()
+    got = []
+
+    def sink(msg):
+        yield sim.timeout(0)
+        got.append(1)
+
+    b.register("sink", sink)
+    a.start()
+    b.start()
+    b.stop()
+    sim.process(a.send("b", "sink", {}, nbytes=0))
+    sim.run(until=1.0)
+    assert got == []

@@ -1,0 +1,113 @@
+"""Integration tests for the experiment harness (tiny scales)."""
+
+import pytest
+
+from repro.harness import ExperimentConfig, run_experiment
+from repro.harness.fig5 import run_panel
+from repro.harness.fig7 import run_fig7
+from repro.harness.table1 import run_table1
+
+
+def tiny(method="tsue", **kw):
+    defaults = dict(
+        method=method,
+        trace="ten",
+        k=4,
+        m=2,
+        n_osds=8,
+        n_clients=2,
+        updates_per_client=15,
+        block_size=16 * 1024,
+        stripes_per_file=4,
+        seed=1,
+        verify=True,
+    )
+    defaults.update(kw)
+    return ExperimentConfig(**defaults)
+
+
+def test_run_experiment_returns_complete_result():
+    res = run_experiment(tiny())
+    assert res.n_updates == 30
+    assert res.horizon > 0
+    assert res.agg_iops == pytest.approx(res.n_updates / res.horizon)
+    assert res.mean_latency > 0
+    assert res.p99_latency >= res.mean_latency
+    assert res.rw_ops > 0 and res.net_bytes > 0
+    assert res.consistent is True
+    assert res.residency is not None  # tsue extras
+    assert res.peak_log_memory > 0
+
+
+def test_run_experiment_non_tsue_has_no_residency():
+    res = run_experiment(tiny(method="fo"))
+    assert res.residency is None
+    assert res.peak_log_memory == 0
+    assert res.consistent is True
+
+
+def test_determinism_same_seed():
+    a = run_experiment(tiny(verify=False))
+    b = run_experiment(tiny(verify=False))
+    assert a.horizon == b.horizon
+    assert a.rw_ops == b.rw_ops
+    assert a.net_bytes == b.net_bytes
+
+
+def test_seed_changes_results():
+    a = run_experiment(tiny(verify=False, seed=1))
+    b = run_experiment(tiny(verify=False, seed=2))
+    assert a.horizon != b.horizon
+
+
+def test_unknown_trace_rejected():
+    with pytest.raises(ValueError, match="unknown trace"):
+        run_experiment(tiny(trace="gcs"))
+
+
+def test_msr_trace_and_hdd_path():
+    res = run_experiment(
+        tiny(method="tsue", trace="msr:hm0", device_kind="hdd", updates_per_client=10)
+    )
+    assert res.consistent is True
+
+
+def test_result_gb_properties():
+    res = run_experiment(tiny(method="fo", verify=False))
+    assert res.net_gb == pytest.approx(res.net_bytes / (1 << 30))
+    assert res.rw_gb == pytest.approx(res.rw_bytes / (1 << 30))
+    assert res.overwrite_gb == pytest.approx(res.overwrite_bytes / (1 << 30))
+
+
+def test_fig5_panel_tiny():
+    base = tiny(verify=False)
+    panel = run_panel(
+        4, 2, "ten", clients=(2,), updates_per_client=10,
+        methods=("fo", "tsue"), base=base,
+    )
+    assert set(panel.iops) == {"fo", "tsue"}
+    assert all(len(v) == 1 for v in panel.iops.values())
+    assert panel.winner_at(2) in ("fo", "tsue")
+    assert "RS(4,2)" in panel.render()
+
+
+def test_fig7_gain_math():
+    res = run_fig7(
+        trace="ten", m=2, n_clients=2, updates_per_client=10,
+        variants=[
+            ("baseline", dict(use_log_pool=False, n_pools=1, use_delta_log=False,
+                              use_locality_data=False, use_locality_parity=False)),
+            ("O3", dict(use_log_pool=True, n_pools=1, use_delta_log=False,
+                        use_locality_data=False, use_locality_parity=False)),
+        ],
+    )
+    assert res.labels == ["baseline", "O3"]
+    assert res.gain("baseline") == 1.0
+    assert res.gain("O3") == pytest.approx(res.iops[1] / res.iops[0])
+
+
+def test_table1_rows_render():
+    res = run_table1(n_clients=2, updates_per_client=10, methods=("fo", "tsue"))
+    text = res.render()
+    assert "FO" in text and "TSUE" in text and "NET GB" in text
+    assert len(res.rows()) == 2

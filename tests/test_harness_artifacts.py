@@ -1,0 +1,76 @@
+"""Tiny-scale smoke tests for every per-artifact harness runner.
+
+These verify structure and rendering (the benchmarks assert the paper
+shapes at realistic scale); keeping them in the unit suite guarantees the
+artifact code paths never rot.
+"""
+
+import pytest
+
+from repro.harness.ablations import (
+    run_index_ablation,
+    run_replica_ablation,
+    run_unit_size_ablation,
+)
+from repro.harness.fig6 import run_fig6a, run_fig6b
+from repro.harness.fig8 import _recovery_run, run_fig8a
+from repro.harness.lifespan import run_lifespan
+from repro.harness.table2 import run_table2
+
+
+def test_fig6a_series_structure():
+    res = run_fig6a(n_clients=3, updates_per_client=30, buckets=5)
+    assert len(res.times) == 5 and len(res.iops) == 5
+    assert res.mean_iops > 0
+    assert "Fig.6a" in res.render()
+
+
+def test_fig6b_sweep_structure():
+    res = run_fig6b(quotas=(2, 4), n_clients=2, updates_per_client=15)
+    assert res.quotas == [2, 4]
+    assert all(v > 0 for v in res.iops)
+    assert all(m > 0 for m in res.peak_memory_mb)
+    assert res.peak_memory_mb[1] >= res.peak_memory_mb[0]
+
+
+def test_fig8a_structure():
+    res = run_fig8a(volumes=("hm0",), methods=("fo", "tsue"),
+                    n_clients=2, updates_per_client=10)
+    assert res.volumes == ["hm0"]
+    assert set(res.iops) == {"fo", "tsue"}
+    assert "hm0" in res.render()
+
+
+def test_fig8b_single_recovery_run_verifies():
+    res = _recovery_run("hm0", "tsue", n_clients=2, updates_per_client=20, seed=3)
+    assert res.correct
+    assert res.blocks_recovered > 0
+    assert res.bandwidth_mbps > 0
+
+
+def test_table2_structure():
+    res = run_table2(n_clients=2, updates_per_client=20, unit_bytes=64 * 1024)
+    assert set(res.residency) == {"ali", "ten"}
+    assert all(t > 0 for t in res.totals_us.values())
+    text = res.render()
+    assert "data_log" in text and "TOTAL" in text
+
+
+def test_lifespan_structure():
+    res = run_lifespan(n_clients=2, updates_per_client=15, methods=("fo", "tsue"))
+    rel = res.relative_lifespan()
+    assert set(rel) == {"fo", "tsue"}
+    assert min(rel.values()) == 1.0
+    adv = res.tsue_advantage()
+    assert "fo" in adv and "tsue" not in adv
+    assert "lifespan" in res.render().lower()
+
+
+def test_ablation_runners_structure():
+    u = run_unit_size_ablation(unit_sizes=(32 * 1024, 64 * 1024), n_clients=2, updates=15)
+    assert len(u.buffer_us) == 2 and "unit" in u.render().lower()
+    r = run_replica_ablation(replica_counts=(1, 2), n_clients=2, updates=15)
+    assert r.latency_us[0] < r.latency_us[1]
+    i = run_index_ablation(n_clients=2, updates=15)
+    assert i.labels == ["off", "on"]
+    assert i.rw_ops[1] <= i.rw_ops[0]

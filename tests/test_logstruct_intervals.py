@@ -1,0 +1,91 @@
+"""Unit + property tests for IntervalSet."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logstruct import IntervalSet
+
+
+def test_empty_set():
+    s = IntervalSet()
+    assert not s
+    assert s.covered_bytes == 0
+    assert not s.covers(0, 1)
+    assert s.covers(5, 5)  # empty range is vacuously covered
+    assert s.uncovered(0, 4) == [(0, 4)]
+
+
+def test_add_and_cover():
+    s = IntervalSet()
+    s.add(10, 20)
+    assert s.covers(10, 20)
+    assert s.covers(12, 15)
+    assert not s.covers(9, 11)
+    assert not s.covers(19, 21)
+    assert s.covered_bytes == 10
+
+
+def test_adjacent_intervals_merge():
+    s = IntervalSet()
+    s.add(0, 5)
+    s.add(5, 10)
+    assert s.intervals() == [(0, 10)]
+
+
+def test_overlapping_intervals_merge():
+    s = IntervalSet()
+    s.add(0, 6)
+    s.add(4, 12)
+    s.add(20, 30)
+    assert s.intervals() == [(0, 12), (20, 30)]
+
+
+def test_bridge_merge():
+    s = IntervalSet()
+    s.add(0, 5)
+    s.add(10, 15)
+    s.add(4, 11)
+    assert s.intervals() == [(0, 15)]
+
+
+def test_empty_add_is_noop():
+    s = IntervalSet()
+    s.add(5, 5)
+    s.add(7, 3)
+    assert not s
+
+
+def test_uncovered_subranges():
+    s = IntervalSet()
+    s.add(2, 4)
+    s.add(8, 10)
+    assert s.uncovered(0, 12) == [(0, 2), (4, 8), (10, 12)]
+    assert s.uncovered(2, 4) == []
+    assert s.uncovered(3, 9) == [(4, 8)]
+
+
+ops = st.lists(
+    st.tuples(st.integers(0, 100), st.integers(1, 20)), min_size=0, max_size=30
+)
+
+
+@settings(deadline=None, max_examples=300)
+@given(ops, st.integers(0, 110), st.integers(1, 30))
+def test_matches_naive_set_model(adds, qstart, qlen):
+    s = IntervalSet()
+    shadow = set()
+    for start, length in adds:
+        s.add(start, start + length)
+        shadow.update(range(start, start + length))
+    qend = qstart + qlen
+    assert s.covers(qstart, qend) == all(b in shadow for b in range(qstart, qend))
+    # uncovered() partitions exactly the missing bytes, in order.
+    unc = s.uncovered(qstart, qend)
+    missing = sorted(b for b in range(qstart, qend) if b not in shadow)
+    flat = [b for a, e in unc for b in range(a, e)]
+    assert flat == missing
+    # Intervals stay sorted, disjoint, non-adjacent.
+    ivs = s.intervals()
+    for (a1, e1), (a2, e2) in zip(ivs, ivs[1:]):
+        assert e1 < a2
+    assert s.covered_bytes == len(shadow)

@@ -1,0 +1,125 @@
+"""Tests for the network fabric."""
+
+import pytest
+
+from repro.net import Fabric, NET_25GBE, NET_40GIB, NetworkProfile
+from repro.sim import Simulator
+
+
+def test_transfer_costs_serialize_latency_deserialize():
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    fab.attach("a")
+    fab.attach("b")
+    nbytes = 1 << 20
+
+    def proc(sim, fab):
+        yield from fab.transfer("a", "b", nbytes)
+        return sim.now
+
+    p = sim.process(proc(sim, fab))
+    sim.run()
+    wire = (nbytes + NET_25GBE.header_bytes) / NET_25GBE.bandwidth
+    assert p.value == pytest.approx(2 * wire + NET_25GBE.base_latency)
+
+
+def test_local_transfer_is_free_and_uncounted():
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    fab.attach("a")
+
+    def proc(sim, fab):
+        yield from fab.transfer("a", "a", 10**9)
+        return sim.now
+
+    p = sim.process(proc(sim, fab))
+    sim.run()
+    assert p.value == 0.0
+    assert fab.counters.messages == 0
+
+
+def test_counters_accumulate_by_kind():
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    for n in ("a", "b"):
+        fab.attach(n)
+
+    def proc(sim, fab):
+        yield from fab.transfer("a", "b", 100, kind="delta")
+        yield from fab.transfer("b", "a", 50, kind="delta")
+        yield from fab.transfer("a", "b", 25, kind="ack")
+
+    sim.process(proc(sim, fab))
+    sim.run()
+    assert fab.counters.messages == 3
+    assert fab.counters.bytes_sent == 175
+    assert fab.counters.by_kind == {"delta": 150, "ack": 25}
+    assert fab.nics["a"].counters.bytes_sent == 125
+    assert fab.nics["b"].counters.bytes_sent == 50
+
+
+def test_sender_tx_serializes_concurrent_transfers():
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    for n in ("a", "b", "c"):
+        fab.attach(n)
+    done = []
+
+    def send(sim, fab, dst, nbytes):
+        yield from fab.transfer("a", dst, nbytes)
+        done.append((dst, sim.now))
+
+    nbytes = 10 << 20
+    sim.process(send(sim, fab, "b", nbytes))
+    sim.process(send(sim, fab, "c", nbytes))
+    sim.run()
+    wire = (nbytes + NET_25GBE.header_bytes) / NET_25GBE.bandwidth
+    # Second transfer's serialisation waits for the first.
+    assert done[0][1] == pytest.approx(2 * wire + NET_25GBE.base_latency)
+    assert done[1][1] == pytest.approx(3 * wire + NET_25GBE.base_latency)
+
+
+def test_unattached_endpoint_raises():
+    sim = Simulator()
+    fab = Fabric(sim)
+    fab.attach("a")
+
+    def proc(sim, fab):
+        yield from fab.transfer("a", "ghost", 10)
+
+    sim.process(proc(sim, fab))
+    with pytest.raises(KeyError):
+        sim.run()
+
+
+def test_negative_size_rejected():
+    sim = Simulator()
+    fab = Fabric(sim)
+    fab.attach("a")
+    fab.attach("b")
+
+    def proc(sim, fab):
+        yield from fab.transfer("a", "b", -1)
+
+    sim.process(proc(sim, fab))
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_attach_is_idempotent():
+    sim = Simulator()
+    fab = Fabric(sim)
+    n1 = fab.attach("a")
+    n2 = fab.attach("a")
+    assert n1 is n2
+
+
+def test_infiniband_profile_has_lower_latency():
+    assert NET_40GIB.base_latency < NET_25GBE.base_latency
+    assert NET_40GIB.bandwidth > NET_25GBE.bandwidth
+
+
+def test_profile_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Fabric(sim, NetworkProfile("bad", bandwidth=-1, base_latency=0)).attach("x")

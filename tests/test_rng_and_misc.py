@@ -1,0 +1,85 @@
+"""Tests for RNG streams, OSD serving stats, and example smoke runs."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RngStreams
+
+
+def test_named_streams_are_cached_and_deterministic():
+    a = RngStreams(seed=1)
+    b = RngStreams(seed=1)
+    assert a.get("x") is a.get("x")
+    assert np.array_equal(
+        a.get("x").integers(0, 100, 10), b.get("x").integers(0, 100, 10)
+    )
+
+
+def test_distinct_names_give_distinct_streams():
+    s = RngStreams(seed=1)
+    xa = s.get("a").integers(0, 2**31, 16)
+    xb = s.get("b").integers(0, 2**31, 16)
+    assert not np.array_equal(xa, xb)
+
+
+def test_distinct_seeds_give_distinct_streams():
+    xa = RngStreams(1).get("t").integers(0, 2**31, 16)
+    xb = RngStreams(2).get("t").integers(0, 2**31, 16)
+    assert not np.array_equal(xa, xb)
+
+
+def test_spawn_namespaces_are_independent():
+    root = RngStreams(7)
+    c1 = root.spawn("node1")
+    c2 = root.spawn("node2")
+    assert c1.seed != c2.seed
+    # Same child name from the same parent reproduces.
+    again = RngStreams(7).spawn("node1")
+    assert again.seed == c1.seed
+
+
+def test_osd_cache_hit_statistics():
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.sim import Simulator
+    from repro.update import make_strategy_factory
+
+    sim = Simulator()
+    cluster = Cluster(
+        sim,
+        ClusterConfig(n_osds=8, k=4, m=2, block_size=2048, seed=2,
+                      client_overhead_s=0.0),
+        make_strategy_factory("tsue", unit_bytes=8192, flush_age=10.0,
+                              flush_interval=5.0),
+    )
+    cluster.register_sparse_file(5, 4 * 2048)
+    client = cluster.add_client("c0")
+    cluster.start()
+
+    def go():
+        yield from client.update(5, 0, np.full(128, 1, dtype=np.uint8))
+        yield from client.read(5, 0, 128)   # full log hit
+        yield from client.read(5, 1024, 64)  # miss: device read
+
+    p = sim.process(go())
+    while not p.fired and sim.peek() != float("inf"):
+        sim.step()
+    cluster.stop()
+    hits = sum(o.cache_hits for o in cluster.osds)
+    served = sum(o.reads_served for o in cluster.osds)
+    assert served == 2
+    assert hits == 1
+
+
+@pytest.mark.parametrize("module", ["quickstart"])
+def test_examples_smoke(module, monkeypatch, capsys):
+    """The quickstart example runs end to end and verifies itself."""
+    import importlib.util
+    import pathlib
+
+    path = pathlib.Path(__file__).parent.parent / "examples" / f"{module}.py"
+    spec = importlib.util.spec_from_file_location(module, path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    mod.main()
+    out = capsys.readouterr().out
+    assert "consistent after drain: True" in out

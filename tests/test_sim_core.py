@@ -1,0 +1,262 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Interrupt, Simulator, Timeout
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(2.5)
+    sim.run()
+    assert sim.now == 2.5
+
+
+def test_run_until_fast_forwards_idle_clock():
+    sim = Simulator()
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    t = sim.timeout(5.0)
+    t.add_callback(lambda ev: fired.append(sim.now))
+    sim.run(until=3.0)
+    assert sim.now == 3.0 and fired == []
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_run_until_in_past_raises():
+    sim = Simulator()
+    sim.timeout(2.0)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_process_returns_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == 42 and sim.now == 1.0
+
+
+def test_process_joins_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(3.0)
+        return "done"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return (sim.now, result)
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == (3.0, "done")
+
+
+def test_simultaneous_events_fire_in_scheduling_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_value_and_double_trigger():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(7)
+    with pytest.raises(RuntimeError):
+        ev.succeed(8)
+    sim.run()
+    assert ev.value == 7
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+
+    def proc(sim, ev):
+        try:
+            yield ev
+        except RuntimeError as e:
+            return f"caught {e}"
+
+    ev = sim.event()
+    p = sim.process(proc(sim, ev))
+    ev.fail(RuntimeError("boom"))
+    sim.run()
+    assert p.value == "caught boom"
+
+
+def test_unhandled_process_exception_surfaces_in_run():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("bug")
+
+    sim.process(proc(sim))
+    with pytest.raises(ValueError, match="bug"):
+        sim.run()
+
+
+def test_handled_process_exception_does_not_crash_run():
+    sim = Simulator()
+
+    def failing(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("expected")
+
+    def watcher(sim, target):
+        try:
+            yield target
+        except ValueError:
+            return "observed"
+
+    target = sim.process(failing(sim))
+    w = sim.process(watcher(sim, target))
+    sim.run()
+    assert w.value == "observed"
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def proc(sim):
+        yield 5
+
+    sim.process(proc(sim))
+    with pytest.raises(TypeError, match="must yield Event"):
+        sim.run()
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+
+    def proc(sim):
+        vals = yield AllOf(sim, [sim.timeout(3.0, "c"), sim.timeout(1.0, "a")])
+        return (sim.now, vals)
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == (3.0, ["c", "a"])
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def proc(sim):
+        vals = yield AllOf(sim, [])
+        return (sim.now, vals)
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == (0.0, [])
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+
+    def proc(sim):
+        idx, val = yield AnyOf(sim, [sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")])
+        return (sim.now, idx, val)
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == (1.0, 1, "fast")
+
+
+def test_interrupt_raises_inside_process():
+    sim = Simulator()
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as i:
+            return ("interrupted", sim.now, i.cause)
+
+    def attacker(sim, target):
+        yield sim.timeout(2.0)
+        target.interrupt(cause="failure")
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    sim.run()
+    assert v.value == ("interrupted", 2.0, "failure")
+
+
+def test_interrupt_after_completion_is_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+        return "ok"
+
+    p = sim.process(quick(sim))
+    sim.run()
+    p.interrupt()
+    sim.run()
+    assert p.value == "ok"
+
+
+def test_call_at_runs_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(4.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [4.0]
+
+
+def test_call_at_past_raises():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_stale_wakeup_after_interrupt_is_ignored():
+    sim = Simulator()
+    hits = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(1.0)
+            hits.append("timeout")
+        except Interrupt:
+            yield sim.timeout(5.0)
+            hits.append("post-interrupt")
+
+    v = sim.process(victim(sim))
+    v.interrupt()
+    sim.run()
+    # The original 1.0 timeout still fires but must not resume the process.
+    assert hits == ["post-interrupt"]
+    assert sim.now == 5.0

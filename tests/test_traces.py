@@ -1,0 +1,122 @@
+"""Tests for the synthetic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    MSR_VOLUMES,
+    SyntheticTraceConfig,
+    alicloud_trace,
+    generate_trace,
+    msr_trace,
+    tencloud_trace,
+)
+from repro.traces.synth import PAGE, TraceRecord, update_stats
+
+FILE = 32 * 1024 * 1024
+N = 2000
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_record_validation():
+    with pytest.raises(ValueError):
+        TraceRecord(-1, 4)
+    with pytest.raises(ValueError):
+        TraceRecord(0, 0)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SyntheticTraceConfig("x", [(4096, 0.5)])  # probs must sum to 1
+    with pytest.raises(ValueError):
+        SyntheticTraceConfig("x", [(4096, 1.0)], hot_fraction=0.0)
+    with pytest.raises(ValueError):
+        SyntheticTraceConfig("x", [(4096, 1.0)], run_prob=1.5)
+
+
+def test_records_stay_in_bounds():
+    for maker in (alicloud_trace, tencloud_trace):
+        recs = maker(FILE, N, rng(1))
+        assert len(recs) == N
+        for r in recs:
+            assert 0 <= r.offset and r.offset + r.size <= FILE
+
+
+def test_small_file_rejected():
+    with pytest.raises(ValueError):
+        alicloud_trace(100, 10, rng())
+
+
+def test_alicloud_size_marginals_match_paper():
+    """§2.1: 46 % exactly 4 KB, 60 % <= 16 KB."""
+    stats = update_stats(alicloud_trace(FILE, 5000, rng(2)))
+    assert 0.40 <= stats["frac_le_4k"] <= 0.52
+    assert 0.54 <= stats["frac_le_16k"] <= 0.66
+
+
+def test_tencloud_size_marginals_match_paper():
+    """§2.1: 69 % exactly 4 KB, 88 % <= 16 KB."""
+    stats = update_stats(tencloud_trace(FILE, 5000, rng(3)))
+    assert 0.63 <= stats["frac_le_4k"] <= 0.75
+    assert 0.82 <= stats["frac_le_16k"] <= 0.94
+
+
+def test_tencloud_touches_small_fraction_of_file():
+    """§2.3.3: the hot working set covers a few % of the data at most."""
+    stats = update_stats(tencloud_trace(FILE, 5000, rng(4)))
+    touched = stats["distinct_pages"] * PAGE / FILE
+    # 5000 requests x ~2 pages over an 8192-page file would touch ~70 %
+    # uniformly; the locality profile keeps it far below that.
+    assert touched < 0.35
+
+
+def test_tencloud_more_local_than_alicloud():
+    ten = update_stats(tencloud_trace(FILE, 5000, rng(5)))
+    ali = update_stats(alicloud_trace(FILE, 5000, rng(5)))
+    assert ten["distinct_pages"] < ali["distinct_pages"]
+
+
+def test_temporal_locality_repeats_offsets():
+    recs = tencloud_trace(FILE, 3000, rng(6))
+    offsets = [r.offset for r in recs]
+    assert len(set(offsets)) < 0.8 * len(offsets)  # plenty of repeats
+
+
+def test_spatial_runs_present():
+    recs = tencloud_trace(FILE, 3000, rng(7))
+    runs = sum(
+        1 for a, b in zip(recs, recs[1:]) if b.offset == a.offset + a.size
+    )
+    assert runs > 0.2 * len(recs)
+
+
+def test_msr_all_volumes_generate():
+    for vol in MSR_VOLUMES:
+        recs = msr_trace(vol, FILE, 200, rng(8))
+        assert len(recs) == 200
+
+
+def test_msr_unknown_volume():
+    with pytest.raises(ValueError, match="unknown MSR volume"):
+        msr_trace("nope", FILE, 10, rng())
+
+
+def test_msr_small_updates_dominate():
+    """MSR stats: ~60 % < 4 KB-ish small, 90 % <= 16 KB."""
+    stats = update_stats(msr_trace("mds0", FILE, 5000, rng(9)))
+    assert stats["frac_le_16k"] > 0.85
+
+
+def test_determinism_same_seed_same_trace():
+    a = tencloud_trace(FILE, 100, rng(42))
+    b = tencloud_trace(FILE, 100, rng(42))
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = tencloud_trace(FILE, 100, rng(1))
+    b = tencloud_trace(FILE, 100, rng(2))
+    assert a != b

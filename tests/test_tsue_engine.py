@@ -1,0 +1,235 @@
+"""Unit/integration tests for the TSUE engine internals."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.harness.experiment import drain_all
+from repro.sim import Simulator
+from repro.tsue.engine import DATA, DELTA, PARITY, TSUEConfig
+from repro.update import make_strategy_factory
+
+K, M, BLOCK = 4, 2, 2048
+
+
+def build(seed=0, **flags):
+    params = dict(unit_bytes=8 * 1024, flush_age=0.01, flush_interval=0.005)
+    params.update(flags)
+    sim = Simulator()
+    cluster = Cluster(
+        sim,
+        ClusterConfig(n_osds=8, k=K, m=M, block_size=BLOCK, seed=seed,
+                      client_overhead_s=0.0),
+        make_strategy_factory("tsue", **params),
+    )
+    inode = 5
+    cluster.register_sparse_file(inode, 2 * K * BLOCK)
+    client = cluster.add_client("c0")
+    cluster.start()
+    return sim, cluster, client, inode
+
+
+def run_to(sim, proc):
+    while not proc.fired and sim.peek() != float("inf"):
+        sim.step()
+    assert proc.fired
+    return proc.value
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TSUEConfig(replicas=0)
+    with pytest.raises(ValueError):
+        TSUEConfig(n_pools=0)
+    with pytest.raises(NotImplementedError):
+        TSUEConfig(compression="zstd")
+
+
+def test_config_pool_kwargs_o3_off_forces_single_unit():
+    cfg = TSUEConfig(use_log_pool=False, min_units=2, max_units=8)
+    kw = cfg.pool_kwargs("overwrite", keep_raw=False)
+    assert kw["min_units"] == kw["max_units"] == 1
+
+
+def test_front_end_appends_before_parity_updates():
+    """The ack path must not touch data or parity blocks."""
+    sim, cluster, client, inode = build(flush_age=10.0, flush_interval=5.0)
+
+    def one():
+        yield from client.update(inode, 0, np.full(100, 7, dtype=np.uint8))
+
+    run_to(sim, sim.process(one()))
+    # No overwrites anywhere yet: only sequential log writes happened.
+    assert cluster.total_ops().overwrite_ops == 0
+    assert cluster.total_ops().write_ops > 0
+    # But the data is readable (log overlay).
+    def rd():
+        return (yield from client.read(inode, 0, 100))
+
+    got = run_to(sim, sim.process(rd()))
+    assert np.all(got == 7)
+    cluster.stop()
+
+
+def test_replica_forward_costs_network():
+    sim, cluster, client, inode = build()
+
+    def one():
+        yield from client.update(inode, 0, np.full(64, 1, dtype=np.uint8))
+
+    run_to(sim, sim.process(one()))
+    kinds = cluster.fabric.counters.by_kind
+    assert any(k.startswith("tsue_replica") for k in kinds)
+    cluster.stop()
+
+
+def test_three_replicas_forward_twice():
+    sim, cluster, client, inode = build(replicas=3)
+
+    def one():
+        yield from client.update(inode, 0, np.full(64, 1, dtype=np.uint8))
+
+    run_to(sim, sim.process(one()))
+    from repro.fs.messages import MSG_OVERHEAD
+
+    # Two replica forwards, each charged payload + protocol overhead.
+    assert cluster.fabric.counters.by_kind.get("tsue_replica", 0) == 2 * (64 + MSG_OVERHEAD)
+    cluster.stop()
+
+
+def test_pipeline_layers_all_exercised():
+    sim, cluster, client, inode = build()
+    rng = np.random.default_rng(1)
+
+    def many():
+        for _ in range(30):
+            off = int(rng.integers(0, K * BLOCK - 64))
+            yield from client.update(inode, off, rng.integers(0, 256, 64, dtype=np.uint8))
+
+    run_to(sim, sim.process(many()))
+    run_to(sim, sim.process(drain_all(cluster)))
+    samples = {DATA: 0, DELTA: 0, PARITY: 0}
+    for osd in cluster.osds:
+        for layer in samples:
+            samples[layer] += osd.strategy.engine.residency.samples(layer)
+    cluster.stop()
+    assert samples[DATA] > 0 and samples[DELTA] > 0 and samples[PARITY] > 0
+
+
+def test_delta_log_off_goes_straight_to_parity_log():
+    sim, cluster, client, inode = build(use_delta_log=False)
+
+    def one():
+        yield from client.update(inode, 0, np.full(64, 3, dtype=np.uint8))
+
+    run_to(sim, sim.process(one()))
+    run_to(sim, sim.process(drain_all(cluster)))
+    for osd in cluster.osds:
+        assert osd.strategy.engine.residency.samples(DELTA) == 0
+    cluster.stop()
+    assert cluster.stripe_consistent(inode, 0)
+
+
+def test_m1_code_skips_delta_log():
+    """With a single parity block there is no second DeltaLog host."""
+    sim = Simulator()
+    cluster = Cluster(
+        sim,
+        ClusterConfig(n_osds=8, k=4, m=1, block_size=BLOCK, seed=2,
+                      client_overhead_s=0.0),
+        make_strategy_factory("tsue", unit_bytes=8 * 1024, flush_age=0.01,
+                              flush_interval=0.005),
+    )
+    inode = 6
+    cluster.register_sparse_file(inode, 4 * BLOCK)
+    client = cluster.add_client("c0")
+    cluster.start()
+
+    def one():
+        yield from client.update(inode, 100, np.full(64, 9, dtype=np.uint8))
+
+    run_to(sim, sim.process(one()))
+    run_to(sim, sim.process(drain_all(cluster)))
+    cluster.stop()
+    assert cluster.stripe_consistent(inode, 0)
+
+
+def test_backpressure_blocks_then_recovers():
+    """A tiny pool quota forces append waits but never deadlocks."""
+    sim, cluster, client, inode = build(
+        unit_bytes=2 * 1024, min_units=1, max_units=1, n_pools=1
+    )
+    rng = np.random.default_rng(3)
+
+    def many():
+        for _ in range(40):
+            off = int(rng.integers(0, K * BLOCK - 256))
+            yield from client.update(
+                inode, off, rng.integers(0, 256, 256, dtype=np.uint8)
+            )
+
+    run_to(sim, sim.process(many()))
+    run_to(sim, sim.process(drain_all(cluster)))
+    cluster.stop()
+    assert cluster.stripe_consistent(inode, 0)
+    assert cluster.stripe_consistent(inode, 1)
+
+
+def test_read_cache_hit_skips_device():
+    sim, cluster, client, inode = build(flush_age=10.0, flush_interval=5.0)
+
+    def scenario():
+        yield from client.update(inode, 50, np.full(32, 4, dtype=np.uint8))
+        before = cluster.total_ops().read_ops
+        got = yield from client.read(inode, 50, 32)
+        after = cluster.total_ops().read_ops
+        return before, after, got
+
+    before, after, got = run_to(sim, sim.process(scenario()))
+    cluster.stop()
+    assert np.all(got == 4)
+    assert after == before  # full overlay hit: no device read
+
+
+def test_partial_read_overlays_log_on_disk_data():
+    sim, cluster, client, inode = build(flush_age=10.0, flush_interval=5.0)
+
+    def scenario():
+        yield from client.update(inode, 100, np.full(16, 8, dtype=np.uint8))
+        got = yield from client.read(inode, 96, 24)
+        return got
+
+    got = run_to(sim, sim.process(scenario()))
+    cluster.stop()
+    assert list(got[:4]) == [0, 0, 0, 0]
+    assert np.all(got[4:20] == 8)
+    assert list(got[20:]) == [0, 0, 0, 0]
+
+
+def test_residency_append_recorded_on_front_end():
+    sim, cluster, client, inode = build()
+
+    def one():
+        yield from client.update(inode, 0, np.full(64, 2, dtype=np.uint8))
+
+    run_to(sim, sim.process(one()))
+    total = sum(
+        osd.strategy.engine.residency.mean_us(DATA)[0] for osd in cluster.osds
+    )
+    cluster.stop()
+    assert total > 0
+
+
+def test_engine_memory_accounting():
+    sim, cluster, client, inode = build()
+    engine = cluster.osds[0].strategy.engine
+    assert engine.log_memory_bytes() > 0
+    assert engine.peak_log_memory_bytes() >= engine.log_memory_bytes()
+    cluster.stop()
+
+
+def test_stop_is_idempotent_and_halts_flush():
+    sim, cluster, client, inode = build()
+    cluster.stop()
+    cluster.stop()
+    sim.run()  # no runaway flush timers keep the heap alive forever
