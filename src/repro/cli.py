@@ -9,7 +9,9 @@ experiment cell:
 * ``fig7``   — the O1..O5 breakdown;
 * ``fig8a`` / ``fig8b`` — HDD throughput / recovery bandwidth;
 * ``table1`` / ``table2`` — workload counters / residency;
-* ``lifespan`` — flash wear comparison.
+* ``lifespan`` — flash wear comparison;
+* ``scenario`` — one named open-loop workload scenario;
+* ``bench`` — the whole scenario registry, with an optional JSON baseline.
 """
 
 from __future__ import annotations
@@ -59,6 +61,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table1", help="storage workload & network traffic")
     sub.add_parser("table2", help="residency per log layer")
     sub.add_parser("lifespan", help="flash wear comparison")
+
+    sc = sub.add_parser("scenario", help="one named open-loop workload scenario")
+    sc.add_argument("name", help='scenario name, or "list" to enumerate')
+    sc.add_argument("--method", default="tsue",
+                    choices=["fo", "fl", "pl", "plr", "parix", "cord", "tsue"])
+    sc.add_argument("--device", default="ssd", choices=["ssd", "hdd"])
+    sc.add_argument("--clients", type=int, default=4)
+    sc.add_argument("--requests", type=int, default=200,
+                    help="requests per client")
+    sc.add_argument("--seed", type=int, default=7)
+
+    be = sub.add_parser("bench", help="run every scenario; smoke perf baseline")
+    be.add_argument("--clients", type=int, default=4)
+    be.add_argument("--requests", type=int, default=200)
+    be.add_argument("--seed", type=int, default=7)
+    be.add_argument("--json", nargs="?", const="BENCH_scenarios.json",
+                    default=None, metavar="PATH",
+                    help="also write a JSON baseline (default PATH: "
+                         "BENCH_scenarios.json)")
     return ap
 
 
@@ -93,6 +114,48 @@ def main(argv=None) -> int:
             print(f"  verified       : {res.consistent}")
             return 0 if res.consistent else 1
         return 0
+
+    if args.cmd == "scenario":
+        from repro.workload import SCENARIOS, run_scenario
+
+        if args.name == "list":
+            for name in sorted(SCENARIOS):
+                print(f"{name:12s} {SCENARIOS[name].description}")
+            return 0
+        if args.name not in SCENARIOS:
+            known = ", ".join(sorted(SCENARIOS))
+            print(f"unknown scenario {args.name!r}; known: {known} "
+                  f"(or \"list\")", file=sys.stderr)
+            return 2
+        res = run_scenario(
+            args.name,
+            seed=args.seed,
+            n_clients=args.clients,
+            requests_per_client=args.requests,
+            method=args.method,
+            device=args.device,
+        )
+        print(res.render())
+        return 0 if res.consistent else 1
+
+    if args.cmd == "bench":
+        import json
+
+        from repro.workload import results_to_json, run_all_scenarios
+
+        results = run_all_scenarios(
+            seed=args.seed,
+            n_clients=args.clients,
+            requests_per_client=args.requests,
+        )
+        for res in results:
+            print(res.render())
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(results_to_json(results), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        return 0 if all(r.consistent for r in results) else 1
 
     if args.cmd == "fig5":
         panel = harness.run_panel(

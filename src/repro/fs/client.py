@@ -26,6 +26,11 @@ class Client(RpcHost):
         self.cluster = cluster
         self.update_latency = LatencyRecorder(f"{name}.update")
         self.read_latency = LatencyRecorder(f"{name}.read")
+        # Pipelining bookkeeping: how many updates this client has in flight
+        # right now, and the high-water mark.  Open-loop generators assert
+        # against the peak to prove their requests genuinely overlap.
+        self.inflight_updates = 0
+        self.peak_inflight_updates = 0
 
     # ------------------------------------------------------------------
     # namespace
@@ -76,34 +81,58 @@ class Client(RpcHost):
         yield AllOf(self.sim, acks)
 
     def update(self, inode: int, offset: int, data: np.ndarray):
-        """The measured path: route each extent to its data-block OSD."""
+        """The measured path: route each extent to its data-block OSD.
+
+        Safe to run many times concurrently from one client (each call is
+        its own process with no shared mutable state beyond counters) —
+        that is what open-loop generators with ``iodepth > 1`` do.
+        """
         data = np.asarray(data, dtype=np.uint8)
         start = self.sim.now
-        if self.cluster.config.client_overhead_s > 0:
-            yield self.sim.timeout(self.cluster.config.client_overhead_s)
-        extents = self.cluster.stripe_map.extents(inode, offset, data.size)
-        acks = []
-        pos = 0
-        for ext in extents:
-            payload = data[pos : pos + ext.length]
-            pos += ext.length
-            osd = self.cluster.osd_of_block(inode, ext.addr.stripe, ext.addr.block_index)
-            acks.append(
-                self.sim.process(
-                    self.rpc(
-                        osd,
-                        "update",
-                        {
-                            "key": ext.addr.key(),
-                            "offset": ext.offset,
-                            "data": payload,
-                        },
-                        nbytes=ext.length,
+        self.inflight_updates += 1
+        self.peak_inflight_updates = max(
+            self.peak_inflight_updates, self.inflight_updates
+        )
+        try:
+            if self.cluster.config.client_overhead_s > 0:
+                yield self.sim.timeout(self.cluster.config.client_overhead_s)
+            extents = self.cluster.stripe_map.extents(inode, offset, data.size)
+            acks = []
+            pos = 0
+            for ext in extents:
+                payload = data[pos : pos + ext.length]
+                pos += ext.length
+                osd = self.cluster.osd_of_block(
+                    inode, ext.addr.stripe, ext.addr.block_index
+                )
+                acks.append(
+                    self.sim.process(
+                        self.rpc(
+                            osd,
+                            "update",
+                            {
+                                "key": ext.addr.key(),
+                                "offset": ext.offset,
+                                "data": payload,
+                            },
+                            nbytes=ext.length,
+                        )
                     )
                 )
-            )
-        yield AllOf(self.sim, acks)
+            yield AllOf(self.sim, acks)
+        finally:
+            self.inflight_updates -= 1
         self.update_latency.record(self.sim.now, self.sim.now - start)
+
+    def submit_update(self, inode: int, offset: int, data: np.ndarray):
+        """Spawn :meth:`update` as its own process and return it (pipelined).
+
+        Callers join the returned process (or an ``AllOf`` over several) to
+        wait for completion; issuing more before joining overlaps them.
+        """
+        return self.sim.process(
+            self.update(inode, offset, data), name=f"{self.name}.update"
+        )
 
     def read(self, inode: int, offset: int, length: int, down: Optional[set] = None):
         """Range read assembled from per-block reads (generator).

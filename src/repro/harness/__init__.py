@@ -14,7 +14,9 @@ printable rows plus the raw numbers, and the corresponding benchmark under
 from repro.harness.experiment import (
     ExperimentConfig,
     ExperimentResult,
+    build_cluster,
     drain_all,
+    make_trace,
     run_experiment,
 )
 from repro.harness.fig5 import Fig5Panel, run_panel
@@ -29,7 +31,9 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "Fig5Panel",
+    "build_cluster",
     "drain_all",
+    "make_trace",
     "run_experiment",
     "run_fig5_panel",
     "run_fig6a",

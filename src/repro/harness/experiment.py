@@ -98,13 +98,15 @@ class ExperimentResult:
         return self.overwrite_bytes / GB
 
 
-def _make_trace(cfg: ExperimentConfig, rng: np.random.Generator):
+def make_trace(cfg: ExperimentConfig, rng: np.random.Generator, n: Optional[int] = None):
+    """Materialise one client's trace for the config's trace family."""
+    n = cfg.updates_per_client if n is None else n
     if cfg.trace == "ali":
-        return alicloud_trace(cfg.file_size, cfg.updates_per_client, rng)
+        return alicloud_trace(cfg.file_size, n, rng)
     if cfg.trace == "ten":
-        return tencloud_trace(cfg.file_size, cfg.updates_per_client, rng)
+        return tencloud_trace(cfg.file_size, n, rng)
     if cfg.trace.startswith("msr:"):
-        return msr_trace(cfg.trace[4:], cfg.file_size, cfg.updates_per_client, rng)
+        return msr_trace(cfg.trace[4:], cfg.file_size, n, rng)
     raise ValueError(f"unknown trace {cfg.trace!r}")
 
 
@@ -167,10 +169,15 @@ def drain_all(cluster: Cluster):
             yield AllOf(sim, procs)
 
 
-def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
-    """Run one experiment cell start to finish (pure function of cfg)."""
+def build_cluster(cfg: ExperimentConfig) -> Cluster:
+    """A fresh simulator + cluster for one experiment cell.
+
+    Shared by :func:`run_experiment` and the scenario runner in
+    :mod:`repro.workload.scenarios`, so every driver gets identical
+    geometry/strategy resolution from the same config type.
+    """
     sim = Simulator()
-    cluster = Cluster(
+    return Cluster(
         sim,
         ClusterConfig(
             n_osds=cfg.n_osds,
@@ -186,13 +193,37 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         _strategy_factory(cfg),
     )
 
+
+def drive_to_completion(sim, proc, what: str = "experiment"):
+    """Step the kernel until ``proc`` fires; diagnose a drained-heap hang."""
+    while not proc.fired and sim.peek() != float("inf"):
+        sim.step()
+    if not proc.fired:
+        raise RuntimeError(f"{what} did not complete (deadlock?)")
+    return proc.value
+
+
+def aggregate_update_latency(clients) -> LatencyRecorder:
+    """One recorder holding every client's update samples."""
+    agg = LatencyRecorder("agg")
+    for c in clients:
+        agg.completion_times.extend(c.update_latency.completion_times)
+        agg.latencies.extend(c.update_latency.latencies)
+    return agg
+
+
+def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment cell start to finish (pure function of cfg)."""
+    cluster = build_cluster(cfg)
+    sim = cluster.sim
+
     # --- register one sparse file per client (no simulated cost) --------
     replayers: List[TraceReplayer] = []
     for i in range(cfg.n_clients):
         inode = 1000 + i
         cluster.register_sparse_file(inode, cfg.file_size)
         client = cluster.add_client(f"client{i}")
-        trace = _make_trace(cfg, cluster.rng.get(f"trace{i}"))
+        trace = make_trace(cfg, cluster.rng.get(f"trace{i}"))
         replayers.append(
             TraceReplayer(client, inode, trace, cluster.rng.get(f"payload{i}"))
         )
@@ -207,12 +238,7 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         yield from drain_all(cluster)
         return horizon
 
-    done = sim.process(main(), name="experiment")
-    while not done.fired and sim.peek() != float("inf"):
-        sim.step()
-    if not done.fired:
-        raise RuntimeError("experiment did not complete (deadlock?)")
-    horizon = done.value
+    horizon = drive_to_completion(sim, sim.process(main(), name="experiment"))
     cluster.stop()
 
     # --- verify ----------------------------------------------------------
@@ -224,10 +250,7 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
     ops = cluster.total_ops()
     wear = cluster.total_wear()
     net = cluster.total_net()
-    agg = LatencyRecorder("agg")
-    for c in cluster.clients:
-        agg.completion_times.extend(c.update_latency.completion_times)
-        agg.latencies.extend(c.update_latency.latencies)
+    agg = aggregate_update_latency(cluster.clients)
     n_updates = sum(r.completed for r in replayers)
 
     residency = None

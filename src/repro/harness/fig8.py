@@ -17,8 +17,9 @@ from typing import Dict, List, Sequence
 from repro.cluster import Cluster, ClusterConfig
 from repro.harness.experiment import (
     ExperimentConfig,
-    _make_trace,
     _strategy_factory,
+    drive_to_completion,
+    make_trace,
     run_experiment,
 )
 from repro.metrics.report import format_series
@@ -148,15 +149,13 @@ def _recovery_run(
         content = load_rng.integers(0, 256, cfg.file_size, dtype="uint8")
         cluster.instant_load_file(inode, content)
         client = cluster.add_client(f"client{i}")
-        trace = _make_trace(cfg, cluster.rng.get(f"trace{i}"))
+        trace = make_trace(cfg, cluster.rng.get(f"trace{i}"))
         replayers.append(
             TraceReplayer(client, inode, trace, cluster.rng.get(f"payload{i}"))
         )
     cluster.start()
     procs = [sim.process(r.run()) for r in replayers]
-    joined = AllOf(sim, procs)
-    while not joined.fired and sim.peek() != float("inf"):
-        sim.step()
+    drive_to_completion(sim, AllOf(sim, procs), what="fig8 replay")
     # Fail the most-loaded OSD (deterministic choice: most blocks stored).
     victim = max(cluster.osds, key=lambda o: len(o.store.blocks)).name
     result = recover_node(cluster, victim, verify=True)

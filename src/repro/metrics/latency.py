@@ -37,11 +37,31 @@ class LatencyRecorder:
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile, q in [0, 100]."""
+        return self.percentiles((q,))[0]
+
+    def percentiles(self, qs: Sequence[float]) -> List[float]:
+        """Nearest-rank percentiles for every q in ``qs``, one sort total."""
+        for q in qs:
+            if not 0.0 <= q <= 100.0:
+                raise ValueError(f"percentile {q} outside [0, 100]")
         if not self.latencies:
-            return 0.0
+            return [0.0] * len(qs)
         data = sorted(self.latencies)
-        rank = min(len(data) - 1, max(0, int(round(q / 100.0 * (len(data) - 1)))))
-        return data[rank]
+        top = len(data) - 1
+        return [
+            data[min(top, max(0, int(round(q / 100.0 * top))))] for q in qs
+        ]
+
+    def summary(self) -> Dict[str, float]:
+        """The standard latency digest: count, mean and p50/p95/p99."""
+        p50, p95, p99 = self.percentiles((50.0, 95.0, 99.0))
+        return {
+            "count": float(len(self.latencies)),
+            "mean": self.mean(),
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
+        }
 
     def throughput(self, horizon: Optional[float] = None) -> float:
         """Completed operations per virtual second."""

@@ -61,7 +61,13 @@ class Simulator:
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Fire the single next event."""
+        """Fire the single next event.
+
+        Raises :class:`RuntimeError` when nothing is scheduled — callers
+        driving the loop by hand should check :meth:`peek` first.
+        """
+        if not self._heap:
+            raise RuntimeError("no scheduled events")
         when, _seq, event = heapq.heappop(self._heap)
         self.now = when
         event._fire()

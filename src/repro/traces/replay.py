@@ -1,4 +1,4 @@
-"""Closed-loop trace replay.
+"""Closed-loop trace replay, as a special case of the workload generator.
 
 One :class:`TraceReplayer` drives one client: it issues each trace record's
 update as soon as the previous one completes (closed loop, like fio with
@@ -6,6 +6,12 @@ iodepth=1 per client; aggregate concurrency comes from the client count, as
 in the paper's 4..64-client sweeps).  Payload bytes are generated
 deterministically from the replayer's RNG so runs are reproducible and
 consistency checks can re-derive expected content.
+
+Since the workload subsystem landed, this is just
+:class:`~repro.workload.generator.OpenLoopGenerator` pinned to zero-gap
+arrivals, one tenant, updates only and ``iodepth=1`` — the RNG draw order
+(one payload per record, in issue order) is identical to the historical
+replayer, which the harness's shadow verifier depends on.
 """
 
 from __future__ import annotations
@@ -16,9 +22,11 @@ import numpy as np
 
 from repro.fs.client import Client
 from repro.traces.synth import TraceRecord
+from repro.workload.arrival import ClosedLoop
+from repro.workload.generator import OpenLoopGenerator, WorkloadSpec
 
 
-class TraceReplayer:
+class TraceReplayer(OpenLoopGenerator):
     """Replays one trace through one client against one file."""
 
     def __init__(
@@ -29,22 +37,18 @@ class TraceReplayer:
         rng: np.random.Generator,
         stop_at: Optional[float] = None,
     ):
-        self.client = client
+        super().__init__(
+            client,
+            [(inode, records)],
+            rng,
+            WorkloadSpec(
+                arrivals=ClosedLoop(),
+                n_requests=len(records),
+                iodepth=1,
+                read_fraction=0.0,
+                stop_at=stop_at,
+            ),
+        )
         self.inode = inode
         self.records = records
-        self.rng = rng
         self.stop_at = stop_at
-        self.completed = 0
-        self.bytes_written = 0
-
-    def run(self):
-        """The replay process body (pass to ``sim.process``)."""
-        sim = self.client.sim
-        for rec in self.records:
-            if self.stop_at is not None and sim.now >= self.stop_at:
-                break
-            payload = self.rng.integers(0, 256, rec.size, dtype=np.uint8)
-            yield from self.client.update(self.inode, rec.offset, payload)
-            self.completed += 1
-            self.bytes_written += rec.size
-        return self.completed

@@ -57,6 +57,9 @@ class TSUEConfig:
     use_locality_data: bool = True    # O1
     use_locality_parity: bool = True  # O2
     use_log_pool: bool = True    # O3 (off = one exclusive unit per pool)
+    # Total recycle workers across the three layers.  3 is the floor: the
+    # per-layer deadlock-freedom invariant (see TSUEEngine.start) needs at
+    # least one worker per layer, so fewer than 3 is silently rounded up.
     recycle_workers: int = 4
     flush_interval: float = 0.5  # scan period for the real-time flusher
     flush_age: float = 1.0       # seal active units older than this
@@ -124,13 +127,17 @@ class TSUEEngine:
         # Replica log device cursors (replica DataLog/DeltaLog: SSD only).
         self._replica_bytes = 0
 
-        for layer, pools in (
-            (DATA, self.data_pools),
-            (DELTA, self.delta_pools),
-            (PARITY, self.parity_pools),
+        # Device zone per pool, precomputed once: the append path is the
+        # hottest front-end code and must not scan the pool list per call.
+        self._pool_zone: Dict[int, str] = {}
+        for layer, prefix, pools in (
+            (DATA, "dlog", self.data_pools),
+            (DELTA, "xlog", self.delta_pools),
+            (PARITY, "plog", self.parity_pools),
         ):
-            for pool in pools:
+            for i, pool in enumerate(pools):
                 pool.seal_listener = self._make_seal_listener(layer, pool)
+                self._pool_zone[id(pool)] = f"{prefix}{i}"
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -147,8 +154,15 @@ class TSUEEngine:
         # appends they wait for need a recycle that has no worker left — a
         # cycle.  Layered pools make the wait graph acyclic (parity ->
         # device only), so the pipeline always drains.
-        n = max(1, self.config.recycle_workers)
-        per_layer = {DATA: max(1, n // 2), DELTA: max(1, n // 4), PARITY: max(1, n // 4)}
+        #
+        # Every layer needs at least one worker, so 3 is the floor; above
+        # it the split spends the whole budget without ever exceeding
+        # max(3, recycle_workers) — DataLog (the hot layer) gets whatever
+        # the two downstream layers leave over.
+        n = max(3, self.config.recycle_workers)
+        delta_n = max(1, n // 4)
+        parity_n = max(1, n // 4)
+        per_layer = {DATA: n - delta_n - parity_n, DELTA: delta_n, PARITY: parity_n}
         self._worker_queues = {}
         for layer, count in per_layer.items():
             queues = [
@@ -197,14 +211,14 @@ class TSUEEngine:
             if not ev.triggered:
                 ev.succeed()
 
-    def _append_with_backpressure(self, pools, zone: str, key, offset, data):
+    def _append_with_backpressure(self, pools, key, offset, data):
         """Pool append + sequential device persist; waits when at quota."""
         pool = self._pool_for(pools, key)
         while not pool.append(key, offset, data, self.sim.now):
             yield self._wait_space(pool)
         yield from self.osd.device.write(
             int(np.asarray(data).size) + ENTRY_HEADER_BYTES,
-            zone=f"{zone}{pools.index(pool)}",
+            zone=self._pool_zone[id(pool)],
             pattern="seq",
             overwrite=False,
         )
@@ -213,9 +227,7 @@ class TSUEEngine:
     # front end
     # ------------------------------------------------------------------
     def append_datalog(self, key: BlockKey, offset: int, data: np.ndarray):
-        yield from self._append_with_backpressure(
-            self.data_pools, "dlog", key, offset, data
-        )
+        yield from self._append_with_backpressure(self.data_pools, key, offset, data)
 
     def append_replica_datalog(self, key: BlockKey, offset: int, data: np.ndarray):
         """Replica DataLog: persisted sequentially, no memory pool (§4.1)."""
@@ -232,7 +244,7 @@ class TSUEEngine:
         if primary:
             for offset, delta in entries:
                 yield from self._append_with_backpressure(
-                    self.delta_pools, "xlog", key, offset, delta
+                    self.delta_pools, key, offset, delta
                 )
         else:
             total = sum(int(d.size) for _, d in entries)
@@ -247,7 +259,7 @@ class TSUEEngine:
     def append_paritylog(self, pkey: BlockKey, entries):
         for offset, pdelta in entries:
             yield from self._append_with_backpressure(
-                self.parity_pools, "plog", pkey, offset, pdelta
+                self.parity_pools, pkey, offset, pdelta
             )
 
     # ------------------------------------------------------------------
@@ -321,7 +333,19 @@ class TSUEEngine:
         try:
             while self._running:
                 fn, state = yield queue.get()
-                yield from fn()
+                # A crashing job must still count towards unit completion:
+                # otherwise state["left"] never reaches zero, the unit stays
+                # RECYCLING forever, _notify_space never fires, and every
+                # appender blocked in _append_with_backpressure deadlocks.
+                # Interrupt (engine stopping) and GeneratorExit (GC closing
+                # an abandoned run) re-raise *without* the accounting — an
+                # aborted job is not a completed one.
+                try:
+                    yield from fn()
+                except (Interrupt, GeneratorExit):
+                    raise
+                except BaseException as err:
+                    self.sim._crash(err)
                 state["left"] -= 1
                 if state["left"] == 0:
                     self._finish_unit(state)

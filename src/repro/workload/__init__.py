@@ -1,0 +1,51 @@
+"""Open-loop workload generation and named end-to-end scenarios.
+
+The seed repo drove every experiment through one closed-loop replayer (one
+outstanding update per client).  This package opens the workload axis:
+
+* :mod:`~repro.workload.arrival` — pluggable inter-arrival processes
+  (Poisson, ON/OFF bursts, diurnal ramps, zero-gap closed loop);
+* :mod:`~repro.workload.generator` — :class:`OpenLoopGenerator`, an
+  arrival-driven client driver with bounded pipelining (``iodepth``),
+  mixed read/update ratios and multi-file tenant sharding;
+* :mod:`~repro.workload.scenarios` — a registry of named end-to-end
+  scenarios (``steady``, ``burst``, ``diurnal``, ``mixed_rw``,
+  ``multi_tenant``) behind ``repro scenario`` / ``repro bench``.
+"""
+
+from repro.workload.arrival import (
+    ArrivalProcess,
+    ClosedLoop,
+    DiurnalArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+)
+from repro.workload.generator import OpenLoopGenerator, WorkloadSpec
+from repro.workload.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioResult,
+    register_scenario,
+    results_to_json,
+    run_all_scenarios,
+    run_scenario,
+    scenario_config,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "ClosedLoop",
+    "DiurnalArrivals",
+    "OnOffArrivals",
+    "OpenLoopGenerator",
+    "PoissonArrivals",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
+    "WorkloadSpec",
+    "register_scenario",
+    "results_to_json",
+    "run_all_scenarios",
+    "run_scenario",
+    "scenario_config",
+]

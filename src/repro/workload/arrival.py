@@ -1,0 +1,113 @@
+"""Inter-arrival processes for open-loop workload generation.
+
+A closed-loop client (the seed's only mode) issues a request the moment the
+previous one completes, so offered load is capped by service latency.  An
+*open-loop* client decouples the two: arrivals follow a stochastic process
+regardless of completions, which is what exposes queueing, backpressure and
+burst behaviour.  Each process here is a stateful sampler: ``next_gap(now,
+rng)`` returns the virtual seconds until the next request, drawing all
+randomness from the supplied generator so runs stay a pure function of the
+seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class ArrivalProcess:
+    """Base inter-arrival sampler."""
+
+    def next_gap(self, now: float, rng: np.random.Generator) -> float:
+        """Seconds from ``now`` until the next request arrives."""
+        raise NotImplementedError
+
+
+class ClosedLoop(ArrivalProcess):
+    """Zero-gap arrivals: pacing comes entirely from the iodepth bound.
+
+    With ``iodepth=1`` this reproduces the classic one-outstanding-request
+    replayer (fio iodepth=1); larger iodepth gives a saturating pipelined
+    client that always keeps ``iodepth`` requests in flight.
+    """
+
+    def next_gap(self, now: float, rng: np.random.Generator) -> float:
+        return 0.0
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a constant mean rate (requests/second)."""
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+
+    def next_gap(self, now: float, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self.rate))
+
+
+class OnOffArrivals(ArrivalProcess):
+    """Markov-modulated ON/OFF bursts.
+
+    During an ON window (mean ``on_s`` seconds) requests arrive Poisson at
+    ``burst_rate``; OFF windows (mean ``off_s``) are silent.  Window
+    durations are exponential, so the process is a classic two-state MMPP —
+    the standard model for bursty tenants.
+    """
+
+    def __init__(self, burst_rate: float, on_s: float, off_s: float):
+        if burst_rate <= 0 or on_s <= 0 or off_s < 0:
+            raise ValueError("burst_rate/on_s must be positive, off_s >= 0")
+        self.burst_rate = burst_rate
+        self.on_s = on_s
+        self.off_s = off_s
+        self._on_until: float | None = None
+
+    def next_gap(self, now: float, rng: np.random.Generator) -> float:
+        if self._on_until is None:
+            self._on_until = now + float(rng.exponential(self.on_s))
+        t = now + float(rng.exponential(1.0 / self.burst_rate))
+        while t > self._on_until:
+            # The burst ended before this arrival: skip the silent window
+            # and restart the arrival draw inside the next ON period.  A
+            # caller whose clock outran the stored windows (e.g. it stalled
+            # on backpressure) resumes with a fresh ON window at `now` —
+            # never behind it, so the gap can never go negative.
+            start = max(self._on_until + float(rng.exponential(self.off_s)), now)
+            t = start + float(rng.exponential(1.0 / self.burst_rate))
+            self._on_until = start + float(rng.exponential(self.on_s))
+        return t - now
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """A sinusoidal day/night ramp compressed into ``period`` seconds.
+
+    Instantaneous rate ``rate(t) = low + (peak-low) * sin^2(pi t / period)``
+    starts at the trough, peaks mid-period and returns — a day's load curve
+    in miniature.  Sampling is Lewis–Shedler thinning against the ``peak``
+    majorant, which is exact for any bounded rate function.
+    """
+
+    def __init__(self, low: float, peak: float, period: float):
+        if not 0 < low <= peak:
+            raise ValueError(f"need 0 < low <= peak, got {low}, {peak}")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.low = low
+        self.peak = peak
+        self.period = period
+
+    def rate(self, t: float) -> float:
+        return self.low + (self.peak - self.low) * math.sin(
+            math.pi * t / self.period
+        ) ** 2
+
+    def next_gap(self, now: float, rng: np.random.Generator) -> float:
+        t = now
+        while True:
+            t += float(rng.exponential(1.0 / self.peak))
+            if float(rng.random()) * self.peak <= self.rate(t):
+                return t - now

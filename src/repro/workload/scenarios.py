@@ -1,0 +1,282 @@
+"""Named end-to-end workload scenarios.
+
+Each scenario is a reusable recipe: an arrival process, a pipelining depth,
+a read/update mix and a tenant layout, run against a small-but-real cluster
+through the standard harness config.  ``repro scenario <name>`` runs one,
+``repro bench`` runs the whole registry and emits a throughput +
+p50/p95/p99 baseline that later scaling PRs diff against.
+
+Scenario runs verify *parity consistency* (stored parity equals re-encoded
+stored data for every stripe of every file) after drain, not the byte-exact
+shadow model of the closed-loop harness: with ``iodepth > 1`` two in-flight
+updates may overlap in the file, so the final bytes depend on OSD arrival
+order — legal, but not re-derivable from issue order alone.
+
+A consequence worth knowing: log-structured strategies (``tsue``, ``fl``)
+stay parity-consistent at any iodepth because their parity maintenance is
+commutative XOR-delta appends, while the read-modify-write baselines
+(``fo``, ``pl``, ``plr``, ``parix``, ``cord``) can race two in-flight
+updates of the same stripe on the parity read-modify-write and drain
+inconsistent — real deployments of those schemes need per-stripe locking,
+which this reproduction does not model yet (see ROADMAP).  ``repro
+scenario --method fo`` reporting ``consistent: False`` under pipelining is
+the simulator faithfully surfacing that, not a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+# NB: repro.harness imports are deferred to call time — the harness pulls in
+# repro.traces.replay, which builds on repro.workload.generator, so a
+# module-level import here would close an import cycle.
+from repro.sim import AllOf
+from repro.workload.arrival import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+)
+from repro.workload.generator import OpenLoopGenerator, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named workload shape (cluster geometry comes from the runner)."""
+
+    name: str
+    description: str
+    # Fresh arrival sampler per client — arrival processes are stateful.
+    make_arrivals: Callable[[], ArrivalProcess]
+    iodepth: int = 8
+    read_fraction: float = 0.0
+    tenants_per_client: int = 1
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    if scenario.name in SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+# Rates are per client, in requests per virtual second.  Updates complete in
+# a few hundred microseconds on the SSD profile, so 4k req/s with iodepth 8
+# is sustained open-loop load without runaway queueing, and the burst peak
+# (12k req/s) genuinely pressures the log pools.
+register_scenario(Scenario(
+    name="steady",
+    description="constant-rate Poisson arrivals, updates only",
+    make_arrivals=lambda: PoissonArrivals(rate=4000.0),
+    iodepth=8,
+))
+register_scenario(Scenario(
+    name="burst",
+    description="ON/OFF bursts: 12k req/s for ~20ms, then ~30ms silence",
+    make_arrivals=lambda: OnOffArrivals(burst_rate=12000.0, on_s=0.02, off_s=0.03),
+    iodepth=16,
+))
+register_scenario(Scenario(
+    name="diurnal",
+    description="sinusoidal ramp 500 -> 8k req/s, one 'day' per 0.5s",
+    make_arrivals=lambda: DiurnalArrivals(low=500.0, peak=8000.0, period=0.5),
+    iodepth=8,
+))
+register_scenario(Scenario(
+    name="mixed_rw",
+    description="70/30 update/read mix through the log read-overlay path",
+    make_arrivals=lambda: PoissonArrivals(rate=4000.0),
+    iodepth=8,
+    read_fraction=0.3,
+))
+register_scenario(Scenario(
+    name="multi_tenant",
+    description="each client shards arrivals across 4 files (tenants)",
+    make_arrivals=lambda: PoissonArrivals(rate=4000.0),
+    iodepth=8,
+    tenants_per_client=4,
+))
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run reports."""
+
+    name: str
+    seed: int
+    n_clients: int
+    updates: int
+    reads: int
+    horizon: float
+    iops: float              # completed ops (updates + reads) per second
+    mean_latency: float      # update latency, seconds
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    peak_inflight: int       # max concurrent updates on any one client
+    consistent: bool         # post-drain parity consistency
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "n_clients": self.n_clients,
+            "updates": self.updates,
+            "reads": self.reads,
+            "horizon_s": self.horizon,
+            "iops": self.iops,
+            "mean_latency_us": self.mean_latency * 1e6,
+            "p50_latency_us": self.p50_latency * 1e6,
+            "p95_latency_us": self.p95_latency * 1e6,
+            "p99_latency_us": self.p99_latency * 1e6,
+            "peak_inflight": self.peak_inflight,
+            "consistent": self.consistent,
+        }
+
+    def render(self) -> str:
+        return (
+            f"scenario={self.name} clients={self.n_clients} "
+            f"updates={self.updates} reads={self.reads}\n"
+            f"  throughput : {self.iops:,.0f} ops/s "
+            f"(horizon {self.horizon * 1e3:,.1f} ms)\n"
+            f"  update lat : mean {self.mean_latency * 1e6:,.1f} us | "
+            f"p50 {self.p50_latency * 1e6:,.1f} | "
+            f"p95 {self.p95_latency * 1e6:,.1f} | "
+            f"p99 {self.p99_latency * 1e6:,.1f}\n"
+            f"  pipelining : peak {self.peak_inflight} in-flight updates/client\n"
+            f"  consistent : {self.consistent}"
+        )
+
+
+def scenario_config(
+    seed: int = 7,
+    n_clients: int = 4,
+    requests_per_client: int = 200,
+    method: str = "tsue",
+    device: str = "ssd",
+):
+    """The smoke-scale cluster geometry every scenario runs against."""
+    from repro.harness.experiment import ExperimentConfig
+
+    return ExperimentConfig(
+        method=method,
+        trace="ten",
+        k=4,
+        m=2,
+        n_osds=8,
+        n_clients=n_clients,
+        updates_per_client=requests_per_client,
+        block_size=32 * 1024,
+        stripes_per_file=8,
+        device_kind=device,
+        seed=seed,
+        verify=False,
+    )
+
+
+def run_scenario(
+    name: str,
+    seed: int = 7,
+    n_clients: int = 4,
+    requests_per_client: int = 200,
+    method: str = "tsue",
+    device: str = "ssd",
+) -> ScenarioResult:
+    """Run one named scenario end to end (pure function of its arguments)."""
+    from repro.harness.experiment import (
+        aggregate_update_latency,
+        build_cluster,
+        drain_all,
+        drive_to_completion,
+        make_trace,
+    )
+
+    if name not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(f"unknown scenario {name!r}; known: {known}")
+    scenario = SCENARIOS[name]
+    cfg = scenario_config(seed, n_clients, requests_per_client, method, device)
+    cluster = build_cluster(cfg)
+    sim = cluster.sim
+
+    inodes: List[int] = []
+    generators: List[OpenLoopGenerator] = []
+    for i in range(cfg.n_clients):
+        client = cluster.add_client(f"client{i}")
+        tenants = []
+        for t in range(scenario.tenants_per_client):
+            inode = 1000 + i * scenario.tenants_per_client + t
+            cluster.register_sparse_file(inode, cfg.file_size)
+            inodes.append(inode)
+            trace = make_trace(cfg, cluster.rng.get(f"trace{i}.{t}"))
+            tenants.append((inode, trace))
+        spec = WorkloadSpec(
+            arrivals=scenario.make_arrivals(),
+            n_requests=requests_per_client,
+            iodepth=scenario.iodepth,
+            read_fraction=scenario.read_fraction,
+        )
+        generators.append(
+            OpenLoopGenerator(client, tenants, cluster.rng.get(f"workload{i}"), spec)
+        )
+
+    cluster.start()
+
+    def main():
+        procs = [
+            sim.process(g.run(), name=f"gen{i}") for i, g in enumerate(generators)
+        ]
+        yield AllOf(sim, procs)
+        horizon = sim.now
+        yield from drain_all(cluster)
+        return horizon
+
+    horizon = drive_to_completion(
+        sim, sim.process(main(), name=f"scenario:{name}"), what=f"scenario {name!r}"
+    )
+    cluster.stop()
+
+    consistent = all(
+        cluster.stripe_consistent(inode, s)
+        for inode in inodes
+        for s in range(cfg.stripes_per_file)
+    )
+
+    agg = aggregate_update_latency(cluster.clients)
+    p50, p95, p99 = agg.percentiles((50.0, 95.0, 99.0))
+    updates = sum(g.completed for g in generators)
+    reads = sum(g.reads_completed for g in generators)
+    return ScenarioResult(
+        name=name,
+        seed=seed,
+        n_clients=cfg.n_clients,
+        updates=updates,
+        reads=reads,
+        horizon=horizon,
+        iops=((updates + reads) / horizon) if horizon > 0 else 0.0,
+        mean_latency=agg.mean(),
+        p50_latency=p50,
+        p95_latency=p95,
+        p99_latency=p99,
+        peak_inflight=max(c.peak_inflight_updates for c in cluster.clients),
+        consistent=consistent,
+    )
+
+
+def run_all_scenarios(
+    names: Optional[Sequence[str]] = None, **kwargs
+) -> List[ScenarioResult]:
+    """Run every registered scenario (or ``names``, in that order)."""
+    return [run_scenario(n, **kwargs) for n in (names or sorted(SCENARIOS))]
+
+
+def results_to_json(results: Sequence[ScenarioResult]) -> dict:
+    """The ``BENCH_scenarios.json`` baseline payload."""
+    return {
+        "bench": "scenarios",
+        "scenarios": {r.name: r.to_dict() for r in results},
+    }

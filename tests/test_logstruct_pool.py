@@ -175,3 +175,43 @@ def test_reactivated_unit_loses_cache():
     assert list(p.cache_lookup("b", 0, 4)) == [5, 5, 5, 5]
     p.append("b", 100, arr(8), now=0.4)  # reactivates the only unit
     assert p.cache_lookup("b", 0, 4) is None
+
+
+def test_cache_lookup_partial_property_vs_reference():
+    """Property test: random overlapping appends across many units must
+    equal a brute-force newest-wins reference array — de-overlapped,
+    offset-sorted, content-exact, covering exactly the written bytes."""
+    span = 1024
+    for seed in range(10):
+        rng = np.random.default_rng(seed)
+        # Small units + a high quota: appends spill across many units with
+        # no recycling needed, so newest-wins spans real unit boundaries.
+        p = LogPool(unit_capacity=256, min_units=2, max_units=64,
+                    policy="overwrite")
+        ref = np.zeros(span, dtype=np.uint8)
+        written = np.zeros(span, dtype=bool)
+        for step in range(60):
+            off = int(rng.integers(0, span - 1))
+            ln = int(rng.integers(1, min(150, span - off) + 1))
+            data = rng.integers(1, 256, ln, dtype=np.uint8)
+            assert p.append("blk", off, data, now=float(step))
+            ref[off:off + ln] = data
+            written[off:off + ln] = True
+        assert p.unit_count > 2  # the stream really crossed units
+        for _ in range(30):
+            qoff = int(rng.integers(0, span - 1))
+            qlen = int(rng.integers(1, span - qoff + 1))
+            frags = p.cache_lookup_partial("blk", qoff, qlen)
+            got = np.zeros(qlen, dtype=np.uint8)
+            covered = np.zeros(qlen, dtype=bool)
+            prev_end = None
+            for a, frag in frags:
+                assert qoff <= a and a + frag.size <= qoff + qlen
+                if prev_end is not None:
+                    assert a >= prev_end  # sorted and de-overlapped
+                prev_end = a + frag.size
+                assert not covered[a - qoff:a - qoff + frag.size].any()
+                got[a - qoff:a - qoff + frag.size] = frag
+                covered[a - qoff:a - qoff + frag.size] = True
+            assert np.array_equal(covered, written[qoff:qoff + qlen])
+            assert np.array_equal(got[covered], ref[qoff:qoff + qlen][covered])

@@ -151,3 +151,35 @@ def test_format_series():
     out = format_series({"m1": [1, 2], "m2": [3, 4]}, x=[10, 20], x_name="clients")
     assert "clients" in out and "m1" in out and "m2" in out
     assert out.splitlines()[-1].split("|")[0].strip() == "20"
+
+
+def test_percentiles_batch_matches_singles():
+    r = LatencyRecorder("x")
+    for i in range(1, 101):
+        r.record(float(i), i / 1000.0)
+    batch = r.percentiles((50.0, 95.0, 99.0))
+    assert batch == [r.percentile(50), r.percentile(95), r.percentile(99)]
+    assert batch[0] <= batch[1] <= batch[2]
+    assert r.percentile(0) == 0.001 and r.percentile(100) == 0.1
+
+
+def test_percentiles_empty_and_validation():
+    r = LatencyRecorder("x")
+    assert r.percentiles((50.0, 99.0)) == [0.0, 0.0]
+    r.record(1.0, 0.5)
+    with pytest.raises(ValueError):
+        r.percentiles((101.0,))
+    with pytest.raises(ValueError):
+        r.percentiles((-1.0,))
+
+
+def test_latency_summary_digest():
+    r = LatencyRecorder("x")
+    assert r.summary()["count"] == 0.0
+    for lat in (0.001, 0.002, 0.003, 0.010):
+        r.record(1.0, lat)
+    s = r.summary()
+    assert s["count"] == 4.0
+    assert s["mean"] == pytest.approx(0.004)
+    assert s["p50"] <= s["p95"] <= s["p99"]
+    assert s["p99"] == 0.010

@@ -1,0 +1,104 @@
+"""End-to-end tests for the named scenario registry and its CLI."""
+
+import json
+
+import pytest
+
+from repro.workload import (
+    SCENARIOS,
+    Scenario,
+    PoissonArrivals,
+    register_scenario,
+    results_to_json,
+    run_all_scenarios,
+    run_scenario,
+)
+
+SMOKE = dict(n_clients=2, requests_per_client=40)
+
+
+def test_required_scenarios_registered():
+    assert {"steady", "burst", "diurnal", "mixed_rw"} <= set(SCENARIOS)
+
+
+def test_register_rejects_duplicates():
+    with pytest.raises(ValueError):
+        register_scenario(Scenario(
+            name="steady", description="dup",
+            make_arrivals=lambda: PoissonArrivals(1.0),
+        ))
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        run_scenario("nope", **SMOKE)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_runs_end_to_end(name):
+    res = run_scenario(name, **SMOKE)
+    assert res.updates > 0
+    assert res.horizon > 0 and res.iops > 0
+    assert res.consistent
+    # Open-loop pipelining genuinely overlaps requests in every scenario.
+    assert res.peak_inflight > 1
+    assert 0 < res.p50_latency <= res.p95_latency <= res.p99_latency
+    if SCENARIOS[name].read_fraction > 0:
+        assert res.reads > 0
+    else:
+        assert res.reads == 0
+    assert res.updates + res.reads == SMOKE["n_clients"] * SMOKE["requests_per_client"]
+
+
+def test_scenarios_deterministic_for_fixed_seed():
+    a = run_scenario("burst", seed=11, **SMOKE)
+    b = run_scenario("burst", seed=11, **SMOKE)
+    assert a.to_dict() == b.to_dict()
+    c = run_scenario("burst", seed=12, **SMOKE)
+    assert c.to_dict() != a.to_dict()
+
+
+def test_run_all_scenarios_and_json_payload():
+    results = run_all_scenarios(names=["steady", "mixed_rw"], **SMOKE)
+    payload = results_to_json(results)
+    assert payload["bench"] == "scenarios"
+    assert set(payload["scenarios"]) == {"steady", "mixed_rw"}
+    doc = json.dumps(payload)  # must be JSON-serialisable
+    assert "p99_latency_us" in doc
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+def test_cli_scenario_runs_each_name(capsys):
+    from repro.cli import main
+
+    for name in ("steady", "burst", "diurnal", "mixed_rw"):
+        rc = main(["scenario", name, "--clients", "2", "--requests", "30"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"scenario={name}" in out
+        assert "p99" in out and "consistent : True" in out
+
+
+def test_cli_scenario_list(capsys):
+    from repro.cli import main
+
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in SCENARIOS:
+        assert name in out
+
+
+def test_cli_bench_writes_json_baseline(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "BENCH_scenarios.json"
+    rc = main(["bench", "--clients", "2", "--requests", "30",
+               "--json", str(path)])
+    assert rc == 0
+    payload = json.loads(path.read_text())
+    assert set(payload["scenarios"]) >= {"steady", "burst", "diurnal", "mixed_rw"}
+    for entry in payload["scenarios"].values():
+        assert entry["consistent"] is True
+        assert entry["iops"] > 0

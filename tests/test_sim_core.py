@@ -33,6 +33,17 @@ def test_run_until_stops_before_later_events():
     assert fired == [5.0]
 
 
+def test_step_on_idle_simulator_raises_clear_error():
+    sim = Simulator()
+    with pytest.raises(RuntimeError, match="no scheduled events"):
+        sim.step()
+    # Same after the heap drains mid-run, not just at construction.
+    sim.timeout(1.0)
+    sim.run()
+    with pytest.raises(RuntimeError, match="no scheduled events"):
+        sim.step()
+
+
 def test_run_until_in_past_raises():
     sim = Simulator()
     sim.timeout(2.0)
