@@ -11,7 +11,9 @@ experiment cell:
 * ``table1`` / ``table2`` — workload counters / residency;
 * ``lifespan`` — flash wear comparison;
 * ``scenario`` — one named open-loop workload scenario;
-* ``bench`` — the whole scenario registry, with an optional JSON baseline.
+* ``bench`` — the scenario registry plus a per-method sweep of one
+  scenario (stripe-lock serialization cost), with an optional JSON
+  baseline.
 """
 
 from __future__ import annotations
@@ -76,6 +78,16 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--clients", type=int, default=4)
     be.add_argument("--requests", type=int, default=200)
     be.add_argument("--seed", type=int, default=7)
+    be.add_argument("--scenarios", nargs="+", default=None, metavar="NAME",
+                    help="limit the registry run to these scenarios "
+                         "(default: all)")
+    be.add_argument("--methods", nargs="*", default=None, metavar="METHOD",
+                    help="per-method sweep rows on --method-scenario "
+                         "(default: all seven; pass with no values to skip "
+                         "the sweep)")
+    be.add_argument("--method-scenario", default="hot_stripe",
+                    help="scenario the per-method sweep runs (default: "
+                         "hot_stripe)")
     be.add_argument("--json", nargs="?", const="BENCH_scenarios.json",
                     default=None, metavar="PATH",
                     help="also write a JSON baseline (default PATH: "
@@ -116,7 +128,7 @@ def main(argv=None) -> int:
         return 0
 
     if args.cmd == "scenario":
-        from repro.workload import SCENARIOS, run_scenario
+        from repro.workload import SCENARIOS, InconsistentDrainError, run_scenario
 
         if args.name == "list":
             for name in sorted(SCENARIOS):
@@ -127,35 +139,82 @@ def main(argv=None) -> int:
             print(f"unknown scenario {args.name!r}; known: {known} "
                   f"(or \"list\")", file=sys.stderr)
             return 2
-        res = run_scenario(
-            args.name,
-            seed=args.seed,
-            n_clients=args.clients,
-            requests_per_client=args.requests,
-            method=args.method,
-            device=args.device,
-        )
+        try:
+            res = run_scenario(
+                args.name,
+                seed=args.seed,
+                n_clients=args.clients,
+                requests_per_client=args.requests,
+                method=args.method,
+                device=args.device,
+            )
+        except InconsistentDrainError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
         print(res.render())
-        return 0 if res.consistent else 1
+        return 0
 
     if args.cmd == "bench":
         import json
 
-        from repro.workload import results_to_json, run_all_scenarios
+        from repro.workload import (
+            METHODS,
+            SCENARIOS,
+            InconsistentDrainError,
+            results_to_json,
+            run_all_scenarios,
+            run_method_sweep,
+        )
 
-        results = run_all_scenarios(
+        # Validate selectors before simulating anything: a typo must not
+        # cost minutes of registry runs and end in a raw traceback.
+        known = ", ".join(sorted(SCENARIOS))
+        unknown = [n for n in (args.scenarios or []) if n not in SCENARIOS]
+        if args.method_scenario not in SCENARIOS:
+            unknown.append(args.method_scenario)
+        if unknown:
+            print(f"unknown scenario(s) {unknown}; known: {known}",
+                  file=sys.stderr)
+            return 2
+        unknown = [m for m in (args.methods or []) if m not in METHODS]
+        if unknown:
+            print(f"unknown method(s) {unknown}; known: "
+                  f"{', '.join(METHODS)}", file=sys.stderr)
+            return 2
+
+        scale = dict(
             seed=args.seed,
             n_clients=args.clients,
             requests_per_client=args.requests,
         )
+        try:
+            results = run_all_scenarios(names=args.scenarios, **scale)
+            method_rows = []
+            if args.methods is None or args.methods:
+                # The registry run may already hold this scenario's default-
+                # method cell; reuse it rather than simulating it twice.
+                method_rows = run_method_sweep(
+                    scenario=args.method_scenario,
+                    methods=args.methods,
+                    reuse=results,
+                    **scale,
+                )
+        except InconsistentDrainError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
         for res in results:
             print(res.render())
+        if method_rows:
+            print(f"--- per-method rows ({args.method_scenario}) ---")
+            for res in method_rows:
+                print(res.render())
         if args.json:
             with open(args.json, "w") as fh:
-                json.dump(results_to_json(results), fh, indent=2, sort_keys=True)
+                json.dump(results_to_json(results, method_rows), fh,
+                          indent=2, sort_keys=True)
                 fh.write("\n")
             print(f"wrote {args.json}")
-        return 0 if all(r.consistent for r in results) else 1
+        return 0
 
     if args.cmd == "fig5":
         panel = harness.run_panel(

@@ -21,6 +21,7 @@ import numpy as np
 from repro.devices.base import StorageDevice
 from repro.fs.blockstore import BlockStore
 from repro.fs.messages import Message, RpcHost
+from repro.sim.resources import KeyedLock
 
 # Serving a read fully from the in-memory log index costs roughly a memory
 # copy + index probe, not a device I/O.
@@ -41,6 +42,12 @@ class OSD(RpcHost):
         self.updates_served = 0
         self.reads_served = 0
         self.cache_hits = 0
+        # Per-(inode, stripe) update locks.  In-place strategies wrap their
+        # read-modify-write critical sections in these (via
+        # UpdateStrategy.serialize_stripe) so pipelined same-stripe updates
+        # serialize FIFO instead of racing the parity RMW; log-structured
+        # strategies never touch them (XOR-delta appends commute).
+        self.stripe_locks = KeyedLock(sim, name=f"{name}.stripes")
         # The strategy registers its handlers in its constructor, so build
         # it last.
         self.strategy = strategy_factory(self)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -40,16 +41,22 @@ class LatencyRecorder:
         return self.percentiles((q,))[0]
 
     def percentiles(self, qs: Sequence[float]) -> List[float]:
-        """Nearest-rank percentiles for every q in ``qs``, one sort total."""
+        """Nearest-rank percentiles for every q in ``qs``, one sort total.
+
+        Standard nearest-rank definition: rank ``ceil(q/100 * n)`` (1-based,
+        clamped to [1, n]).  ``ceil`` is deliberate — ``round`` would apply
+        banker's rounding on exact .5 ranks and pick the lower neighbour
+        for some sample counts but not others.
+        """
         for q in qs:
             if not 0.0 <= q <= 100.0:
                 raise ValueError(f"percentile {q} outside [0, 100]")
         if not self.latencies:
             return [0.0] * len(qs)
         data = sorted(self.latencies)
-        top = len(data) - 1
+        n = len(data)
         return [
-            data[min(top, max(0, int(round(q / 100.0 * top))))] for q in qs
+            data[min(n - 1, max(0, math.ceil(q / 100.0 * n) - 1))] for q in qs
         ]
 
     def summary(self) -> Dict[str, float]:

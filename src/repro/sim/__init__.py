@@ -10,6 +10,8 @@ on.  It is a small, dependency-free engine in the style of SimPy:
   combinators).
 * :class:`~repro.sim.resources.Resource` models a FIFO server with finite
   capacity (disks, NIC directions, CPU recycle threads).
+* :class:`~repro.sim.resources.KeyedLock` is a per-key FIFO mutex family
+  (per-stripe update serialization on the OSDs).
 * :class:`~repro.sim.resources.Store` is an unbounded FIFO message queue
   used for RPC channels between cluster nodes.
 
@@ -20,7 +22,7 @@ a pure function of its seed.
 
 from repro.sim.core import Process, Simulator
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
-from repro.sim.resources import Resource, Store
+from repro.sim.resources import KeyedLock, Resource, Store
 from repro.sim.rng import RngStreams
 
 __all__ = [
@@ -28,6 +30,7 @@ __all__ = [
     "AnyOf",
     "Event",
     "Interrupt",
+    "KeyedLock",
     "Process",
     "Resource",
     "RngStreams",

@@ -24,6 +24,17 @@ class Simulator:
         self._seq: int = 0
         self._active: int = 0  # live processes, for run-to-exhaustion checks
         self._crashed: Optional[BaseException] = None
+        self._current: Optional["Process"] = None
+
+    @property
+    def active_process(self) -> Optional["Process"]:
+        """The process whose generator is being stepped right now.
+
+        ``None`` between steps or when code runs outside any process.  Lets
+        library code identify the acquiring activity without threading a
+        token through every generator (e.g. KeyedLock holders).
+        """
+        return self._current
 
     # ------------------------------------------------------------------
     # event construction helpers
@@ -144,6 +155,8 @@ class Process(Event):
         if event is not None and event is not self._waiting_on:
             return  # stale wakeup after an interrupt re-routed the process
         self._waiting_on = None
+        prev = self.sim._current
+        self.sim._current = self
         try:
             if exc is not None:
                 target = self._gen.throw(exc)
@@ -167,6 +180,8 @@ class Process(Event):
             self.sim._active -= 1
             self.fail(err)
             return
+        finally:
+            self.sim._current = prev
         if not isinstance(target, Event):
             self.sim._active -= 1
             bad = TypeError(

@@ -1,14 +1,16 @@
 """FIFO resources and message stores for the simulation kernel.
 
 :class:`Resource` models a server with finite capacity — a disk channel, one
-direction of a NIC, a recycle worker pool.  :class:`Store` is the unbounded
-FIFO queue used as an RPC mailbox between nodes.
+direction of a NIC, a recycle worker pool.  :class:`KeyedLock` is a manager
+of per-key FIFO mutual-exclusion locks (per-stripe update serialization).
+:class:`Store` is the unbounded FIFO queue used as an RPC mailbox between
+nodes.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque, Dict, Hashable, List, Optional, Tuple
 
 from repro.sim.core import Simulator
 from repro.sim.events import Event
@@ -77,6 +79,90 @@ class Resource:
             yield self.sim.timeout(duration)
         finally:
             self.release()
+
+
+class KeyedLock:
+    """A family of FIFO mutual-exclusion locks, one per key, under one roof.
+
+    A single :class:`KeyedLock` serves any number of keys (e.g. every
+    ``(inode, stripe)`` pair an OSD hosts).  Per-key state exists only while
+    the key is held or waited on, so an idle lock costs nothing no matter
+    how many stripes the node stores.
+
+    ``acquire(key, holder)`` returns an event that fires once ``holder``
+    owns the key's lock; grants are strictly FIFO per key, so waiters cannot
+    starve and same-key critical sections run in request order.  ``holder``
+    is any token identifying the acquiring activity (compared by identity).
+    The locks are *not* re-entrant: a holder acquiring a key it already
+    holds or already waits on would sleep on itself forever, so that call
+    raises immediately instead of deadlocking the simulation.
+
+    Accounting (feeds the scenario lock-wait metrics): ``acquisitions``
+    counts every grant, ``contended`` the acquires that had to queue, and
+    ``wait_times`` records per-grant queueing delay in virtual seconds
+    (0.0 for uncontended grants).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "keyedlock"):
+        self.sim = sim
+        self.name = name
+        self._holders: Dict[Hashable, Any] = {}
+        self._queues: Dict[Hashable, Deque[Tuple[Event, Any, float]]] = {}
+        self.acquisitions = 0
+        self.contended = 0
+        self.wait_times: List[float] = []
+
+    def held(self, key: Hashable) -> bool:
+        return key in self._holders
+
+    def holder(self, key: Hashable) -> Optional[Any]:
+        return self._holders.get(key)
+
+    def queue_len(self, key: Hashable) -> int:
+        return len(self._queues.get(key, ()))
+
+    @property
+    def keys_held(self) -> int:
+        return len(self._holders)
+
+    def acquire(self, key: Hashable, holder: Any) -> Event:
+        """An event firing once ``holder`` owns ``key``'s lock (FIFO)."""
+        if self._holders.get(key) is holder:
+            raise RuntimeError(
+                f"{self.name}: holder already owns key {key!r} (not re-entrant)"
+            )
+        if any(h is holder for _, h, _ in self._queues.get(key, ())):
+            raise RuntimeError(
+                f"{self.name}: holder already waiting on key {key!r}"
+            )
+        ev = Event(self.sim, name=f"lock:{self.name}:{key}")
+        if key not in self._holders:
+            self._holders[key] = holder
+            self.acquisitions += 1
+            self.wait_times.append(0.0)
+            ev.succeed()
+        else:
+            self.contended += 1
+            self._queues.setdefault(key, deque()).append((ev, holder, self.sim.now))
+        return ev
+
+    def release(self, key: Hashable, holder: Any) -> None:
+        """Release ``key``; the next queued waiter (if any) is granted."""
+        if self._holders.get(key) is not holder:
+            raise RuntimeError(
+                f"{self.name}: release of key {key!r} by a non-holder"
+            )
+        queue = self._queues.get(key)
+        if queue:
+            ev, nxt, t_requested = queue.popleft()
+            if not queue:
+                del self._queues[key]
+            self._holders[key] = nxt
+            self.acquisitions += 1
+            self.wait_times.append(self.sim.now - t_requested)
+            ev.succeed()
+        else:
+            del self._holders[key]
 
 
 class Store:

@@ -28,6 +28,12 @@ class UpdateStrategy:
 
     name = "base"
 
+    # True for the in-place (read-modify-write) family, whose update paths
+    # must hold the hosting OSD's per-stripe lock; log-structured methods
+    # leave it False because their parity maintenance is commutative
+    # XOR-delta appends, safe at any pipelining depth without locks.
+    serializes_stripes = False
+
     def __init__(self, osd):
         self.osd = osd
         self.sim = osd.sim
@@ -73,6 +79,33 @@ class UpdateStrategy:
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
+    def serialize_stripe(self, key: BlockKey, body):
+        """Run generator ``body`` holding the per-stripe update lock.
+
+        The lock is the hosting OSD's :class:`~repro.sim.resources.KeyedLock`
+        keyed by ``(inode, stripe)``, so two pipelined updates touching the
+        same stripe *on this OSD* — i.e. the same data block — execute their
+        read-modify-write critical sections strictly FIFO.  Updates to other
+        blocks of the same stripe live on other OSDs and stay concurrent,
+        which is safe: their parity contributions are commutative XOR
+        deltas; only the data-block read-modify-write (and PARIX's
+        original-capture) races.
+
+        The holder token is the running simulation process (stable across
+        nesting), so an accidental double-wrap on the same stripe — a
+        guaranteed self-deadlock — trips KeyedLock's reentrancy check
+        instead of hanging the simulation silently.
+        """
+        stripe = (key[0], key[1])
+        locks = self.osd.stripe_locks
+        holder = self.sim.active_process or body
+        yield locks.acquire(stripe, holder)
+        try:
+            result = yield from body
+        finally:
+            locks.release(stripe, holder)
+        return result
+
     def rmw_delta(self, key: BlockKey, offset: int, data: np.ndarray):
         """The in-place family's front half: read old, write new, delta.
 

@@ -32,6 +32,7 @@ class CoRDStrategy(UpdateStrategy):
     """Collector-aggregated delta combining with a serialized buffer log."""
 
     name = "cord"
+    serializes_stripes = True
 
     def __init__(self, osd, buffer_bytes: int = 128 * 1024):
         self.buffer_bytes = buffer_bytes
@@ -56,7 +57,11 @@ class CoRDStrategy(UpdateStrategy):
     # data-OSD side
     # ------------------------------------------------------------------
     def on_update(self, key: BlockKey, offset: int, data: np.ndarray):
-        delta = yield from self.rmw_delta(key, offset, data)
+        # Lock the data-block read-modify-write only; the collector buffers
+        # deltas in an XOR index and combining is commutative (Eq. 5).
+        delta = yield from self.serialize_stripe(
+            key, self.rmw_delta(key, offset, data)
+        )
         inode, stripe, _j = key
         collector = self.cluster.placement(inode, stripe)[self.cluster.config.k]
         yield from self.osd.rpc(

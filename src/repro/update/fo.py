@@ -18,12 +18,17 @@ class FOStrategy(UpdateStrategy):
     """In-place update of data and all parity blocks on the critical path."""
 
     name = "fo"
+    serializes_stripes = True
 
     def register_handlers(self) -> None:
         self.osd.register("fo_apply", self._h_apply)
 
     def on_update(self, key: BlockKey, offset: int, data: np.ndarray):
-        delta = yield from self.rmw_delta(key, offset, data)
+        # Only the data-block read-modify-write needs the stripe lock: the
+        # parity applies below are commutative XOR, safe in any order.
+        delta = yield from self.serialize_stripe(
+            key, self.rmw_delta(key, offset, data)
+        )
         calls = []
         for p, osd_name in self.parity_targets(key):
             pdelta = self.cluster.codec.parity_delta(key[2], p, delta)

@@ -29,6 +29,7 @@ class PARIXStrategy(UpdateStrategy):
     """Speculative logging of raw data at the parity OSDs."""
 
     name = "parix"
+    serializes_stripes = True
     # Phase 0 recycles parity-side logs; phase 1 resets the data-side
     # speculation state (safe only once *every* OSD finished phase 0).
     DRAIN_PHASES = 2
@@ -127,6 +128,16 @@ class PARIXStrategy(UpdateStrategy):
     # data-OSD side
     # ------------------------------------------------------------------
     def on_update(self, key: BlockKey, offset: int, data: np.ndarray):
+        # Unlike the XOR-delta methods (which lock only their data-block
+        # RMW), the critical section covers the whole speculative protocol:
+        # the original-capture-and-ship of a first update must not
+        # interleave with another update overwriting the same bytes (the
+        # parity side would record a non-original as "original"), and the
+        # parity-side "latest" log has overwrite semantics, so append
+        # arrival order must match data-write order.
+        yield from self.serialize_stripe(key, self._update_locked(key, offset, data))
+
+    def _update_locked(self, key: BlockKey, offset: int, data: np.ndarray):
         seen = self.seen.setdefault(key, IntervalSet())
         first = not seen.covers(offset, offset + int(data.size))
         targets = self.parity_targets(key)

@@ -29,6 +29,7 @@ class PLStrategy(UpdateStrategy):
     """In-place data update + appended parity logs, deferred recycle."""
 
     name = "pl"
+    serializes_stripes = True
 
     def __init__(self, osd, recycle_threshold_bytes: int = 1 << 40):
         # Default threshold is effectively infinite: recycle only on drain.
@@ -43,7 +44,11 @@ class PLStrategy(UpdateStrategy):
 
     # ------------------------------------------------------------------
     def on_update(self, key: BlockKey, offset: int, data: np.ndarray):
-        delta = yield from self.rmw_delta(key, offset, data)
+        # Lock the data-block read-modify-write only; the appended parity
+        # deltas fold into an XOR index, commutative in arrival order.
+        delta = yield from self.serialize_stripe(
+            key, self.rmw_delta(key, offset, data)
+        )
         calls = []
         for p, osd_name in self.parity_targets(key):
             pdelta = self.cluster.codec.parity_delta(key[2], p, delta)

@@ -29,6 +29,7 @@ class PLRStrategy(UpdateStrategy):
     """Reserved-space parity logging with synchronous region recycle."""
 
     name = "plr"
+    serializes_stripes = True
 
     def __init__(self, osd, reserve_bytes: int = 6 * 1024):
         self.reserve_bytes = reserve_bytes
@@ -43,7 +44,11 @@ class PLRStrategy(UpdateStrategy):
 
     # ------------------------------------------------------------------
     def on_update(self, key: BlockKey, offset: int, data: np.ndarray):
-        delta = yield from self.rmw_delta(key, offset, data)
+        # Lock the data-block read-modify-write only; reserved-region
+        # appends fold into an XOR index, commutative in arrival order.
+        delta = yield from self.serialize_stripe(
+            key, self.rmw_delta(key, offset, data)
+        )
         calls = []
         for p, osd_name in self.parity_targets(key):
             pdelta = self.cluster.codec.parity_delta(key[2], p, delta)

@@ -10,7 +10,9 @@ outstanding update per client).  This package opens the workload axis:
   mixed read/update ratios and multi-file tenant sharding;
 * :mod:`~repro.workload.scenarios` — a registry of named end-to-end
   scenarios (``steady``, ``burst``, ``diurnal``, ``mixed_rw``,
-  ``multi_tenant``) behind ``repro scenario`` / ``repro bench``.
+  ``multi_tenant``, ``hot_stripe``) behind ``repro scenario`` / ``repro
+  bench``, with a hard parity-consistency gate on every drain and
+  stripe-lock wait metrics in every result.
 """
 
 from repro.workload.arrival import (
@@ -22,12 +24,15 @@ from repro.workload.arrival import (
 )
 from repro.workload.generator import OpenLoopGenerator, WorkloadSpec
 from repro.workload.scenarios import (
+    METHODS,
     SCENARIOS,
+    InconsistentDrainError,
     Scenario,
     ScenarioResult,
     register_scenario,
     results_to_json,
     run_all_scenarios,
+    run_method_sweep,
     run_scenario,
     scenario_config,
 )
@@ -36,6 +41,8 @@ __all__ = [
     "ArrivalProcess",
     "ClosedLoop",
     "DiurnalArrivals",
+    "InconsistentDrainError",
+    "METHODS",
     "OnOffArrivals",
     "OpenLoopGenerator",
     "PoissonArrivals",
@@ -46,6 +53,7 @@ __all__ = [
     "register_scenario",
     "results_to_json",
     "run_all_scenarios",
+    "run_method_sweep",
     "run_scenario",
     "scenario_config",
 ]

@@ -117,7 +117,6 @@ class OpenLoopGenerator:
             gap = spec.arrivals.next_gap(sim.now, self.rng)
             if gap > 0:
                 yield sim.timeout(gap)
-            op = self._next_op()
             # The iodepth bound: arrivals past the pipelining budget wait
             # here, which is what keeps open-loop memory finite.
             yield slots.request()
@@ -127,6 +126,11 @@ class OpenLoopGenerator:
             if spec.stop_at is not None and sim.now >= spec.stop_at:
                 slots.release()
                 break
+            # Draw the op only after the deadline re-check: a request
+            # truncated at the deadline must consume no RNG state and
+            # advance no tenant cursor, so the draw history always matches
+            # `issued` exactly.
+            op = self._next_op()
             self.issued += 1
             procs.append(sim.process(self._issue(op, slots)))
         if procs:

@@ -5,12 +5,14 @@ import json
 import pytest
 
 from repro.workload import (
+    METHODS,
     SCENARIOS,
     Scenario,
     PoissonArrivals,
     register_scenario,
     results_to_json,
     run_all_scenarios,
+    run_method_sweep,
     run_scenario,
 )
 
@@ -18,7 +20,7 @@ SMOKE = dict(n_clients=2, requests_per_client=40)
 
 
 def test_required_scenarios_registered():
-    assert {"steady", "burst", "diurnal", "mixed_rw"} <= set(SCENARIOS)
+    assert {"steady", "burst", "diurnal", "mixed_rw", "hot_stripe"} <= set(SCENARIOS)
 
 
 def test_register_rejects_duplicates():
@@ -43,11 +45,39 @@ def test_scenario_runs_end_to_end(name):
     # Open-loop pipelining genuinely overlaps requests in every scenario.
     assert res.peak_inflight > 1
     assert 0 < res.p50_latency <= res.p95_latency <= res.p99_latency
+    # Default method is tsue, which never takes stripe locks.
+    assert res.method == "tsue"
+    assert res.lock_acquisitions == 0 and res.lock_contended == 0
     if SCENARIOS[name].read_fraction > 0:
         assert res.reads > 0
     else:
         assert res.reads == 0
     assert res.updates + res.reads == SMOKE["n_clients"] * SMOKE["requests_per_client"]
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_every_method_drains_consistent_under_pipelining(method):
+    """The PR-2 acceptance bar: iodepth >= 8 pipelining (16 on hot_stripe)
+    leaves every method parity-consistent — run_scenario would raise
+    InconsistentDrainError otherwise."""
+    for name in ("steady", "hot_stripe"):
+        res = run_scenario(name, method=method, **SMOKE)
+        assert res.consistent
+        assert SCENARIOS[name].iodepth >= 8
+        if method in ("fl", "tsue"):
+            assert res.lock_acquisitions == 0
+        else:
+            # One lock grant per OSD-level extent update; a client update
+            # spanning several blocks takes several locks.
+            assert res.lock_acquisitions >= res.updates
+            assert res.lock_wait_mean >= 0.0
+
+
+def test_hot_stripe_contends_for_in_place_methods():
+    res = run_scenario("hot_stripe", method="fo", **SMOKE)
+    assert res.lock_contended > 0
+    assert res.lock_wait_p99 > 0.0
+    assert res.lock_wait_p99 >= res.lock_wait_mean
 
 
 def test_scenarios_deterministic_for_fixed_seed():
@@ -63,8 +93,42 @@ def test_run_all_scenarios_and_json_payload():
     payload = results_to_json(results)
     assert payload["bench"] == "scenarios"
     assert set(payload["scenarios"]) == {"steady", "mixed_rw"}
+    assert "methods" not in payload
     doc = json.dumps(payload)  # must be JSON-serialisable
     assert "p99_latency_us" in doc
+    assert "lock_wait_p99_us" in doc
+
+
+def test_run_all_scenarios_rejects_empty_explicit_selection():
+    with pytest.raises(ValueError, match="empty scenario selection"):
+        run_all_scenarios(names=[], **SMOKE)
+
+
+def test_method_sweep_rows_and_json_section():
+    rows = run_method_sweep(
+        scenario="hot_stripe", methods=["fo", "tsue"], **SMOKE
+    )
+    assert [r.method for r in rows] == ["fo", "tsue"]
+    assert all(r.name == "hot_stripe" and r.consistent for r in rows)
+    payload = results_to_json([], method_rows=rows)
+    assert set(payload["methods"]) == {"fo", "tsue"}
+    assert payload["methods"]["fo"]["lock_acquisitions"] > 0
+    assert payload["methods"]["tsue"]["lock_acquisitions"] == 0
+    with pytest.raises(ValueError, match="empty method selection"):
+        run_method_sweep(methods=[], **SMOKE)
+    # Matching (scenario, method) cells from `reuse` are returned as-is
+    # instead of re-simulated.
+    reused = run_method_sweep(
+        scenario="hot_stripe", methods=["tsue", "fl"], reuse=rows, **SMOKE
+    )
+    assert reused[0] is rows[1] and reused[1].method == "fl"
+
+
+def test_methods_tuple_covers_the_strategy_registry():
+    from repro.update import STRATEGIES
+
+    assert set(METHODS) == set(STRATEGIES)
+    assert len(METHODS) == len(STRATEGIES)
 
 
 # ----------------------------------------------------------------------
@@ -95,10 +159,27 @@ def test_cli_bench_writes_json_baseline(tmp_path, capsys):
 
     path = tmp_path / "BENCH_scenarios.json"
     rc = main(["bench", "--clients", "2", "--requests", "30",
-               "--json", str(path)])
+               "--methods", "fo", "tsue", "--json", str(path)])
     assert rc == 0
+    out = capsys.readouterr().out
+    assert "per-method rows (hot_stripe)" in out
     payload = json.loads(path.read_text())
-    assert set(payload["scenarios"]) >= {"steady", "burst", "diurnal", "mixed_rw"}
+    assert set(payload["scenarios"]) >= {"steady", "burst", "diurnal",
+                                         "mixed_rw", "hot_stripe"}
     for entry in payload["scenarios"].values():
         assert entry["consistent"] is True
         assert entry["iops"] > 0
+        assert entry["lock_wait_mean_us"] >= 0.0
+    assert set(payload["methods"]) == {"fo", "tsue"}
+
+
+def test_cli_bench_scenario_subset_and_no_methods(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "bench.json"
+    rc = main(["bench", "--clients", "2", "--requests", "30",
+               "--scenarios", "steady", "--methods", "--json", str(path)])
+    assert rc == 0
+    payload = json.loads(path.read_text())
+    assert set(payload["scenarios"]) == {"steady"}
+    assert "methods" not in payload

@@ -306,3 +306,31 @@ def test_trace_replayer_stop_at_truncates():
     done = run_to(sim, sim.process(rep.run()))
     cluster.stop()
     assert 0 < done < 50
+
+
+def test_stop_at_truncation_consumes_no_rng_or_cursor_state():
+    """A request truncated at the deadline re-check must not have drawn its
+    op: RNG draws and tenant cursors advance exactly once per *issued*
+    request, so the payload stream stays re-derivable from `issued`."""
+    sim, cluster, client, inode = build()
+    gen = OpenLoopGenerator(
+        client,
+        [(inode, records(50))],
+        np.random.default_rng(21),
+        WorkloadSpec(arrivals=ClosedLoop(), n_requests=50, iodepth=1,
+                     stop_at=0.0005),
+    )
+    run_to(sim, sim.process(gen.run()))
+    run_to(sim, sim.process(drain_all(cluster)))
+    assert 0 < gen.issued < 50  # the deadline genuinely truncated the run
+    assert sum(gen._cursors) == gen.issued
+    # The generator's RNG advanced once per *issued* payload and no
+    # further: a fresh stream replayed `issued` times is in lockstep.
+    fresh = np.random.default_rng(21)
+    for rec in records(50)[: gen.issued]:
+        fresh.integers(0, 256, rec.size, dtype=np.uint8)
+    assert np.array_equal(
+        gen.rng.integers(0, 256, 16, dtype=np.uint8),
+        fresh.integers(0, 256, 16, dtype=np.uint8),
+    )
+    cluster.stop()
