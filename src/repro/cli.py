@@ -10,10 +10,12 @@ experiment cell:
 * ``fig8a`` / ``fig8b`` — HDD throughput / recovery bandwidth;
 * ``table1`` / ``table2`` — workload counters / residency;
 * ``lifespan`` — flash wear comparison;
-* ``scenario`` — one named open-loop workload scenario;
-* ``bench`` — the scenario registry plus a per-method sweep of one
-  scenario (stripe-lock serialization cost), with an optional JSON
-  baseline.
+* ``scenario`` — one named open-loop workload scenario (including the
+  failure axis: ``degraded_read``, ``rebuild_under_load``,
+  ``double_fault``);
+* ``bench`` — the scenario registry plus per-method sweeps of one
+  contention scenario (stripe-lock serialization cost) and one failure
+  scenario (Fig. 8b-style recovery rows), with an optional JSON baseline.
 """
 
 from __future__ import annotations
@@ -88,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--method-scenario", default="hot_stripe",
                     help="scenario the per-method sweep runs (default: "
                          "hot_stripe)")
+    be.add_argument("--recovery-scenario", default="rebuild_under_load",
+                    help="failure scenario for the per-method recovery "
+                         "sweep (default: rebuild_under_load; \"none\" "
+                         "skips it)")
     be.add_argument("--json", nargs="?", const="BENCH_scenarios.json",
                     default=None, metavar="PATH",
                     help="also write a JSON baseline (default PATH: "
@@ -128,7 +134,12 @@ def main(argv=None) -> int:
         return 0
 
     if args.cmd == "scenario":
-        from repro.workload import SCENARIOS, InconsistentDrainError, run_scenario
+        from repro.workload import (
+            SCENARIOS,
+            InconsistentDrainError,
+            PostRecoveryScrubError,
+            run_scenario,
+        )
 
         if args.name == "list":
             for name in sorted(SCENARIOS):
@@ -148,7 +159,7 @@ def main(argv=None) -> int:
                 method=args.method,
                 device=args.device,
             )
-        except InconsistentDrainError as exc:
+        except (InconsistentDrainError, PostRecoveryScrubError) as exc:
             print(f"FAIL: {exc}", file=sys.stderr)
             return 1
         print(res.render())
@@ -161,6 +172,7 @@ def main(argv=None) -> int:
             METHODS,
             SCENARIOS,
             InconsistentDrainError,
+            PostRecoveryScrubError,
             results_to_json,
             run_all_scenarios,
             run_method_sweep,
@@ -172,6 +184,10 @@ def main(argv=None) -> int:
         unknown = [n for n in (args.scenarios or []) if n not in SCENARIOS]
         if args.method_scenario not in SCENARIOS:
             unknown.append(args.method_scenario)
+        if args.recovery_scenario != "none" and (
+            args.recovery_scenario not in SCENARIOS
+        ):
+            unknown.append(args.recovery_scenario)
         if unknown:
             print(f"unknown scenario(s) {unknown}; known: {known}",
                   file=sys.stderr)
@@ -190,6 +206,7 @@ def main(argv=None) -> int:
         try:
             results = run_all_scenarios(names=args.scenarios, **scale)
             method_rows = []
+            recovery_rows = []
             if args.methods is None or args.methods:
                 # The registry run may already hold this scenario's default-
                 # method cell; reuse it rather than simulating it twice.
@@ -199,7 +216,14 @@ def main(argv=None) -> int:
                     reuse=results,
                     **scale,
                 )
-        except InconsistentDrainError as exc:
+                if args.recovery_scenario != "none":
+                    recovery_rows = run_method_sweep(
+                        scenario=args.recovery_scenario,
+                        methods=args.methods,
+                        reuse=results,
+                        **scale,
+                    )
+        except (InconsistentDrainError, PostRecoveryScrubError) as exc:
             print(f"FAIL: {exc}", file=sys.stderr)
             return 1
         for res in results:
@@ -208,10 +232,14 @@ def main(argv=None) -> int:
             print(f"--- per-method rows ({args.method_scenario}) ---")
             for res in method_rows:
                 print(res.render())
+        if recovery_rows:
+            print(f"--- per-method recovery rows ({args.recovery_scenario}) ---")
+            for res in recovery_rows:
+                print(res.render())
         if args.json:
             with open(args.json, "w") as fh:
-                json.dump(results_to_json(results, method_rows), fh,
-                          indent=2, sort_keys=True)
+                json.dump(results_to_json(results, method_rows, recovery_rows),
+                          fh, indent=2, sort_keys=True)
                 fh.write("\n")
             print(f"wrote {args.json}")
         return 0

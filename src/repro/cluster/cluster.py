@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 import numpy as np
 
@@ -101,6 +101,12 @@ class Cluster:
         for osd in self.osds:
             self._hosts[osd.name] = osd
         self._connect_all()
+        # Failure bookkeeping: the cluster-wide view of unavailable OSDs
+        # (stands in for the MDS's membership map the clients would poll)
+        # plus the outage windows [name, t_down, t_up] behind the recovery
+        # metrics of failure scenarios.
+        self.down_osds: Set[str] = set()
+        self.down_windows: List[List] = []
 
     # ------------------------------------------------------------------
     def _make_device(self, name: str) -> StorageDevice:
@@ -157,6 +163,23 @@ class Cluster:
         """Ring neighbour hosting this OSD's DataLog replica (Fig. 4)."""
         i = int(osd_name[3:])
         return f"osd{(i + 1) % self.config.n_osds}"
+
+    # ------------------------------------------------------------------
+    # failure bookkeeping
+    # ------------------------------------------------------------------
+    def mark_down(self, name: str) -> None:
+        """Record an OSD as unavailable (clients fence/degrade around it)."""
+        if name not in self.down_osds:
+            self.down_osds.add(name)
+            self.down_windows.append([name, self.sim.now, None])
+
+    def mark_up(self, name: str) -> None:
+        """Clear an OSD's down mark and close its outage window."""
+        self.down_osds.discard(name)
+        for window in reversed(self.down_windows):
+            if window[0] == name and window[2] is None:
+                window[2] = self.sim.now
+                break
 
     # ------------------------------------------------------------------
     # workload pre-load

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.fs.messages import RpcHost
+from repro.fs.messages import HostDownError, RpcHost
 from repro.metrics.latency import LatencyRecorder
 from repro.sim.events import AllOf
 
@@ -21,16 +21,33 @@ from repro.sim.events import AllOf
 class Client(RpcHost):
     """One application node."""
 
+    # While any member OSD of a stripe is down, updates touching that
+    # stripe wait (write fencing): EC updates mutate data *and* parity, and
+    # mutating a degraded stripe would have to be replayed into the rebuild.
+    # The poll interval paces fence checks and crash-retry backoff; the
+    # budget turns a never-recovered OSD into an error instead of a hang.
+    FENCE_POLL_S = 5e-4
+    FENCE_BUDGET_S = 60.0
+
     def __init__(self, sim, fabric, name, cluster):
         super().__init__(sim, fabric, name)
         self.cluster = cluster
         self.update_latency = LatencyRecorder(f"{name}.update")
         self.read_latency = LatencyRecorder(f"{name}.read")
+        # Reads that went through the degraded (decode) path also record
+        # here, so failure scenarios can report an honest degraded p99.
+        self.degraded_read_latency = LatencyRecorder(f"{name}.degraded")
         # Pipelining bookkeeping: how many updates this client has in flight
         # right now, and the high-water mark.  Open-loop generators assert
         # against the peak to prove their requests genuinely overlap.
         self.inflight_updates = 0
         self.peak_inflight_updates = 0
+        # Failure-path accounting (failure scenarios report these), all
+        # counted once per *logical* op, not per retry attempt.
+        self.update_retries = 0
+        self.read_retries = 0
+        self.degraded_reads = 0
+        self.fenced_updates = 0
 
     # ------------------------------------------------------------------
     # namespace
@@ -80,12 +97,67 @@ class Client(RpcHost):
                 )
         yield AllOf(self.sim, acks)
 
+    def _fence_wait(self, inode: int, stripes):
+        """Wait until no member OSD of the given stripes is down.
+
+        Returns True if the op had to wait at all (generator).
+        """
+        waited = 0.0
+        fenced = False
+        while True:
+            down = self.cluster.down_osds
+            if not down or not any(
+                name in down
+                for s in stripes
+                for name in self.cluster.placement(inode, s)
+            ):
+                return fenced
+            fenced = True
+            if waited >= self.FENCE_BUDGET_S:
+                raise RuntimeError(
+                    f"{self.name}: stripes {sorted(stripes)} of inode {inode} "
+                    f"fenced for {waited:.1f}s (down: {sorted(down)}) — "
+                    "no recovery/restore happened"
+                )
+            yield self.sim.timeout(self.FENCE_POLL_S)
+            waited += self.FENCE_POLL_S
+
+    def _retry_downed(self, make_attempt, counter: str):
+        """Run ``make_attempt()`` (a generator) to completion, retrying
+        :class:`HostDownError` with paced backoff until the budget runs out.
+
+        The shared failure-path scaffold of :meth:`update` and
+        :meth:`read`: a crash racing an issued op fails it mid-flight; the
+        op retries whole once the cluster heals.  ``counter`` names the
+        per-logical-op retry counter to bump (once, however many attempts
+        it takes).
+        """
+        retried = 0.0
+        while True:
+            try:
+                result = yield from make_attempt()
+                return result
+            except HostDownError:
+                if retried >= self.FENCE_BUDGET_S:
+                    raise
+                if retried == 0.0:
+                    setattr(self, counter, getattr(self, counter) + 1)
+                yield self.sim.timeout(self.FENCE_POLL_S)
+                retried += self.FENCE_POLL_S
+
     def update(self, inode: int, offset: int, data: np.ndarray):
         """The measured path: route each extent to its data-block OSD.
 
         Safe to run many times concurrently from one client (each call is
         its own process with no shared mutable state beyond counters) —
         that is what open-loop generators with ``iodepth > 1`` do.
+
+        Failure handling: updates touching a stripe with a down member wait
+        for it to heal (:meth:`_fence_wait`), and a crash racing an issued
+        update (:class:`HostDownError`) is retried whole once the fence
+        clears.  Re-sent extents are idempotent end-to-end: the data bytes
+        are the same, so every strategy's recomputed parity delta is zero
+        for extents that already landed.
         """
         data = np.asarray(data, dtype=np.uint8)
         start = self.sim.now
@@ -97,29 +169,39 @@ class Client(RpcHost):
             if self.cluster.config.client_overhead_s > 0:
                 yield self.sim.timeout(self.cluster.config.client_overhead_s)
             extents = self.cluster.stripe_map.extents(inode, offset, data.size)
-            acks = []
-            pos = 0
-            for ext in extents:
-                payload = data[pos : pos + ext.length]
-                pos += ext.length
-                osd = self.cluster.osd_of_block(
-                    inode, ext.addr.stripe, ext.addr.block_index
-                )
-                acks.append(
-                    self.sim.process(
-                        self.rpc(
-                            osd,
-                            "update",
-                            {
-                                "key": ext.addr.key(),
-                                "offset": ext.offset,
-                                "data": payload,
-                            },
-                            nbytes=ext.length,
+            stripes = {ext.addr.stripe for ext in extents}
+            state = {"fenced": False}  # across every retry attempt
+
+            def attempt():
+                if (yield from self._fence_wait(inode, stripes)):
+                    state["fenced"] = True
+                acks = []
+                pos = 0
+                for ext in extents:
+                    payload = data[pos : pos + ext.length]
+                    pos += ext.length
+                    osd = self.cluster.osd_of_block(
+                        inode, ext.addr.stripe, ext.addr.block_index
+                    )
+                    acks.append(
+                        self.sim.process(
+                            self.rpc(
+                                osd,
+                                "update",
+                                {
+                                    "key": ext.addr.key(),
+                                    "offset": ext.offset,
+                                    "data": payload,
+                                },
+                                nbytes=ext.length,
+                            )
                         )
                     )
-                )
-            yield AllOf(self.sim, acks)
+                yield AllOf(self.sim, acks)
+
+            yield from self._retry_downed(attempt, "update_retries")
+            if state["fenced"]:
+                self.fenced_updates += 1
         finally:
             self.inflight_updates -= 1
         self.update_latency.record(self.sim.now, self.sim.now - start)
@@ -137,36 +219,50 @@ class Client(RpcHost):
     def read(self, inode: int, offset: int, length: int, down: Optional[set] = None):
         """Range read assembled from per-block reads (generator).
 
-        ``down`` is the client's view of unavailable OSDs (normally learnt
-        from the MDS); extents whose home OSD is down are served by a
-        *degraded read* — decode from any k surviving blocks of the stripe.
+        ``down`` is the client's view of unavailable OSDs — the cluster's
+        ``down_osds`` (the MDS membership map clients would poll) is always
+        merged in; extents whose home OSD is down are served by a *degraded
+        read* — decode from any k surviving blocks of the stripe.  A crash
+        racing an issued read is retried against the updated down-set.
         """
         start = self.sim.now
         if self.cluster.config.client_overhead_s > 0:
             yield self.sim.timeout(self.cluster.config.client_overhead_s)
-        down = down or set()
         extents = self.cluster.stripe_map.extents(inode, offset, length)
-        procs = []
-        for ext in extents:
-            osd = self.cluster.osd_of_block(inode, ext.addr.stripe, ext.addr.block_index)
-            if osd in down:
-                procs.append(
-                    self.sim.process(
-                        self._degraded_read(
-                            inode, ext.addr.stripe, ext.addr.block_index,
-                            ext.offset, ext.length, down,
+
+        def attempt():
+            down_now = set(self.cluster.down_osds) | set(down or ())
+            procs = []
+            n_degraded = 0
+            for ext in extents:
+                osd = self.cluster.osd_of_block(inode, ext.addr.stripe, ext.addr.block_index)
+                if osd in down_now:
+                    n_degraded += 1
+                    procs.append(
+                        self.sim.process(
+                            self._degraded_read(
+                                inode, ext.addr.stripe, ext.addr.block_index,
+                                ext.offset, ext.length, down_now,
+                            )
                         )
                     )
-                )
-            else:
-                procs.append(
-                    self.sim.process(
-                        self._read_one(osd, ext.addr.key(), ext.offset, ext.length)
+                else:
+                    procs.append(
+                        self.sim.process(
+                            self._read_one(osd, ext.addr.key(), ext.offset, ext.length)
+                        )
                     )
-                )
-        pieces = yield AllOf(self.sim, procs)
+            pieces = yield AllOf(self.sim, procs)
+            return pieces, n_degraded
+
+        # Only the attempt that completed counts toward degraded stats.
+        pieces, n_degraded = yield from self._retry_downed(attempt, "read_retries")
         out = np.concatenate(pieces) if pieces else np.zeros(0, np.uint8)
-        self.read_latency.record(self.sim.now, self.sim.now - start)
+        latency = self.sim.now - start
+        self.read_latency.record(self.sim.now, latency)
+        if n_degraded:
+            self.degraded_reads += 1
+            self.degraded_read_latency.record(self.sim.now, latency)
         return out
 
     def _read_one(self, osd: str, key, offset: int, length: int):

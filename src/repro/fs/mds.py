@@ -47,6 +47,9 @@ class MDS(RpcHost):
         super().__init__(sim, fabric, name)
         self.cluster = cluster
         self.files: Dict[int, FileMeta] = {}
+        # Instance-level so failure scenarios can tighten detection to their
+        # (millisecond-scale) timescale without touching the class default.
+        self.heartbeat_timeout = self.HEARTBEAT_TIMEOUT
         self.last_heartbeat: Dict[str, float] = {}
         self.register("create_file", self._h_create)
         self.register("stat", self._h_stat)
@@ -119,6 +122,6 @@ class MDS(RpcHost):
         out = []
         for osd in self.cluster.osds:
             seen = self.last_heartbeat.get(osd.name)
-            if seen is None or now - seen > self.HEARTBEAT_TIMEOUT:
+            if seen is None or now - seen > self.heartbeat_timeout:
                 out.append(osd.name)
         return out

@@ -8,6 +8,17 @@ real back-pressure.
 ``rpc`` is request/response (the caller waits for the handler's reply and
 pays both transfer directions); ``send`` is one-way fire-and-forget used for
 background notifications.
+
+Failure semantics (the failure-injection scenarios build on these):
+
+* a host that is *stopped* (``stop()``, transient maintenance) blocks new
+  callers until it restarts — connections retry at the transport level, and
+  in-flight handlers run to completion;
+* a host that has *crashed* (``crash()``, fail-stop) refuses new calls with
+  :class:`HostDownError` immediately, aborts its in-flight handlers and
+  fails their reply events, and fails every request queued in its mailbox.
+  Callers must treat a :class:`HostDownError` as "the op may or may not
+  have been applied" and recover accordingly.
 """
 
 from __future__ import annotations
@@ -17,13 +28,27 @@ from typing import Any, Callable, Dict, Generator, Optional, Tuple
 
 from repro.net.fabric import Fabric
 from repro.sim.core import Simulator
-from repro.sim.events import Event
+from repro.sim.events import Event, Interrupt
 from repro.sim.resources import Store
 
 # Fixed protocol overhead charged per message in addition to payload bytes.
 MSG_OVERHEAD = 64
 
 Handler = Callable[["Message"], Generator[Event, Any, Optional[Tuple[dict, int]]]]
+
+
+class HostDownError(RuntimeError):
+    """An RPC could not complete because the destination host is down.
+
+    Raised in the *caller*: either fail-fast at connect time (the host has
+    crashed), or when the host crashes while the request is queued or being
+    served.  The operation may have been partially applied on the dead
+    host — callers retry idempotently or rely on post-recovery repair.
+    """
+
+    def __init__(self, host: str, detail: str = ""):
+        super().__init__(f"host {host!r} is down{': ' + detail if detail else ''}")
+        self.host = host
 
 
 @dataclass
@@ -42,6 +67,12 @@ class Message:
 class RpcHost:
     """Base class for every networked node in the cluster."""
 
+    # Transport-level connect retry to a stopped (not crashed) host, and the
+    # total virtual-time budget before giving up: converts a never-restarted
+    # host from a silent hang into a diagnosable error.
+    CONNECT_RETRY_S = 1e-3
+    CONNECT_BUDGET_S = 60.0
+
     def __init__(self, sim: Simulator, fabric: Fabric, name: str):
         self.sim = sim
         self.fabric = fabric
@@ -52,6 +83,10 @@ class RpcHost:
         self.peers: Dict[str, "RpcHost"] = {}
         self._dispatcher = None
         self.running = False
+        self.crashed = False
+        # In-flight handler processes, so a crash can abort them and fail
+        # their callers instead of leaving replies pending forever.
+        self._inflight: Dict[Any, "Message"] = {}
 
     # ------------------------------------------------------------------
     # wiring
@@ -69,14 +104,46 @@ class RpcHost:
         """Boot the dispatcher process (idempotent)."""
         if not self.running:
             self.running = True
+            self.crashed = False
+            # A previous dispatcher's abandoned get() must not eat the first
+            # message meant for the new one.
+            self.mailbox.cancel_getters()
             self._dispatcher = self.sim.process(
                 self._dispatch_loop(), name=f"{self.name}.dispatch"
             )
 
     def stop(self) -> None:
+        """Graceful stop: no new dispatches; in-flight handlers complete.
+
+        Callers attempting new RPCs block at the transport until a restart
+        (transient-outage semantics); queued mailbox messages are served
+        when the host comes back.
+        """
         self.running = False
         if self._dispatcher is not None and self._dispatcher.is_alive:
             self._dispatcher.interrupt("stop")
+        self.mailbox.cancel_getters()
+
+    def crash(self) -> None:
+        """Fail-stop: abort in-flight handlers and fail all pending callers.
+
+        New RPCs fail fast with :class:`HostDownError` until the host is
+        restarted via :meth:`start`.
+        """
+        self.running = False
+        self.crashed = True
+        if self._dispatcher is not None and self._dispatcher.is_alive:
+            self._dispatcher.interrupt("crash")
+        self.mailbox.cancel_getters()
+        for proc, msg in list(self._inflight.items()):
+            if proc.is_alive:
+                proc.interrupt("crash")
+            if msg.reply_event is not None and not msg.reply_event.triggered:
+                msg.reply_event.fail(HostDownError(self.name, f"crashed serving {msg.kind}"))
+        self._inflight.clear()
+        for msg in self.mailbox.pop_all():
+            if msg.reply_event is not None and not msg.reply_event.triggered:
+                msg.reply_event.fail(HostDownError(self.name, f"crashed before {msg.kind}"))
 
     # ------------------------------------------------------------------
     # serving
@@ -84,7 +151,9 @@ class RpcHost:
     def _dispatch_loop(self):
         while self.running:
             msg = yield self.mailbox.get()
-            self.sim.process(self._handle(msg), name=f"{self.name}.{msg.kind}")
+            proc = self.sim.process(self._handle(msg), name=f"{self.name}.{msg.kind}")
+            self._inflight[proc] = msg
+            proc.add_callback(lambda _ev, p=proc: self._inflight.pop(p, None))
 
     def _handle(self, msg: Message):
         handler = self.handlers.get(msg.kind)
@@ -96,6 +165,21 @@ class RpcHost:
             raise err
         try:
             result = yield from handler(msg)
+            if msg.reply_event is not None:
+                payload, nbytes = result if result is not None else ({}, 0)
+                yield from self.fabric.transfer(
+                    self.name, msg.src, nbytes + MSG_OVERHEAD, kind=f"{msg.kind}.reply"
+                )
+                if not msg.reply_event.triggered:
+                    msg.reply_event.succeed(payload)
+        except Interrupt:
+            # The host crashed under us: no reply transfer (the node is
+            # dead); make sure the caller learns rather than hangs.
+            if msg.reply_event is not None and not msg.reply_event.triggered:
+                msg.reply_event.fail(
+                    HostDownError(self.name, f"crashed serving {msg.kind}")
+                )
+            return
         except Exception as err:
             # Application-level failure: deliver it to the caller as the
             # RPC outcome instead of crashing the serving node.
@@ -103,15 +187,10 @@ class RpcHost:
                 yield from self.fabric.transfer(
                     self.name, msg.src, MSG_OVERHEAD, kind=f"{msg.kind}.err"
                 )
-                msg.reply_event.fail(err)
+                if not msg.reply_event.triggered:
+                    msg.reply_event.fail(err)
                 return
             raise
-        if msg.reply_event is not None:
-            payload, nbytes = result if result is not None else ({}, 0)
-            yield from self.fabric.transfer(
-                self.name, msg.src, nbytes + MSG_OVERHEAD, kind=f"{msg.kind}.reply"
-            )
-            msg.reply_event.succeed(payload)
 
     # ------------------------------------------------------------------
     # calling
@@ -122,23 +201,86 @@ class RpcHost:
         except KeyError:
             raise KeyError(f"{self.name} has no route to {dst!r}") from None
 
+    def _connect(self, dst: str, host: "RpcHost"):
+        """Wait for a stopped host; refuse a crashed one (generator).
+
+        Models the transport: connections to a host down for transient
+        maintenance retry until it restarts; a crashed host refuses
+        instantly.  Gives up with :class:`HostDownError` after
+        ``CONNECT_BUDGET_S`` so an unrecovered host surfaces as an error,
+        not a silent simulation hang.
+        """
+        waited = 0.0
+        while not host.running:
+            if host.crashed:
+                raise HostDownError(dst)
+            if waited >= self.CONNECT_BUDGET_S:
+                raise HostDownError(dst, "connect budget exhausted")
+            yield self.sim.timeout(self.CONNECT_RETRY_S)
+            waited += self.CONNECT_RETRY_S
+
     def rpc(self, dst: str, kind: str, payload: dict, nbytes: int = 0):
         """Request/response call; returns the reply payload (generator)."""
         host = self._route(dst)
+        while True:
+            yield from self._connect(dst, host)
+            yield from self.fabric.transfer(
+                self.name, dst, nbytes + MSG_OVERHEAD, kind=kind
+            )
+            if host.running:
+                break
+            if host.crashed:
+                # Went down while the request was on the wire.
+                raise HostDownError(dst)
+            # Stopped mid-transfer: retransmit once it is back.
         reply = self.sim.event(name=f"reply:{kind}")
-        yield from self.fabric.transfer(
-            self.name, dst, nbytes + MSG_OVERHEAD, kind=kind
-        )
         host.mailbox.put(
             Message(kind, self.name, dst, payload, nbytes, reply, self.sim.now)
         )
         result = yield reply
         return result
 
+    def rpc_with_retry(
+        self,
+        dst: str,
+        kind: str,
+        payload: dict,
+        nbytes: int = 0,
+        interval: float = 2e-3,
+        budget: float = 120.0,
+    ):
+        """``rpc`` that retries :class:`HostDownError` until the host heals.
+
+        For *background* pushes only (log recycle forwards): the work is
+        owned by a detached worker with nobody upstream to retry it, and the
+        destination is guaranteed to come back (recovery revives the serving
+        plane of every down OSD, restores revive it outright).  Foreground
+        paths must NOT use this — their callers own the retry policy.
+        Note the op may be applied twice when a crash eats the reply of an
+        applied request; post-recovery parity repair heals that, which is
+        why this helper is reserved for crash-recoverable delta traffic.
+        """
+        waited = 0.0
+        while True:
+            try:
+                result = yield from self.rpc(dst, kind, payload, nbytes=nbytes)
+                return result
+            except HostDownError:
+                if waited >= budget:
+                    raise
+                yield self.sim.timeout(interval)
+                waited += interval
+
     def send(self, dst: str, kind: str, payload: dict, nbytes: int = 0):
-        """One-way message: pays the forward transfer only (generator)."""
+        """One-way message: pays the forward transfer only (generator).
+
+        Sends to a crashed host are dropped (fire-and-forget); sends to a
+        stopped host queue and are served at restart.
+        """
         host = self._route(dst)
         yield from self.fabric.transfer(
             self.name, dst, nbytes + MSG_OVERHEAD, kind=kind
         )
+        if host.crashed:
+            return
         host.mailbox.put(Message(kind, self.name, dst, payload, nbytes, None, self.sim.now))

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.devices.base import StorageDevice
 from repro.fs.blockstore import BlockStore
-from repro.fs.messages import Message, RpcHost
+from repro.fs.messages import HostDownError, Message, RpcHost
 from repro.sim.resources import KeyedLock
 
 # Serving a read fully from the in-memory log index costs roughly a memory
@@ -48,6 +48,8 @@ class OSD(RpcHost):
         # serialize FIFO instead of racing the parity RMW; log-structured
         # strategies never touch them (XOR-delta appends commute).
         self.stripe_locks = KeyedLock(sim, name=f"{name}.stripes")
+        self._heartbeat_interval: Optional[float] = None
+        self._heartbeat_proc = None
         # The strategy registers its handlers in its constructor, so build
         # it last.
         self.strategy = strategy_factory(self)
@@ -55,6 +57,58 @@ class OSD(RpcHost):
     @property
     def index(self) -> int:
         return int(self.name[3:])
+
+    # ------------------------------------------------------------------
+    # failure / restart
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop this OSD, then reclaim any stripe locks it died with.
+
+        Aborted handlers release their per-stripe locks through ``finally``
+        as the interrupt unwinds them, but a handler interrupted while
+        *queued* on a lock — or granted one in the same instant it dies —
+        would leave lock state owned by a corpse, wedging every later
+        same-stripe writer.  A reaper runs after all the interrupt events of
+        this instant have fired and force-resets whatever is left.
+        """
+        super().crash()
+        # The heartbeat dies with the node — and must not resurrect when
+        # recovery revives the serving plane for the replica-driven drain
+        # (a dead node's stand-in replica must not claim liveness, or the
+        # MDS would never flag the failure).  Only restart() re-boots it.
+        if self._heartbeat_proc is not None and self._heartbeat_proc.is_alive:
+            self._heartbeat_proc.interrupt("crash")
+        locks = self.stripe_locks
+
+        def reap():
+            # One zero-delay hop: lets same-instant releases/grants from the
+            # dying handlers land first, so we only reset true leftovers.
+            yield self.sim.timeout(0.0)
+            locks.force_reset(HostDownError(self.name, "stripe lock holder crashed"))
+
+        self.sim.process(reap(), name=f"{self.name}.lock-reap")
+
+    def start_heartbeat(self, interval: float = 1.0) -> None:
+        """Boot (or re-boot after restart) the MDS heartbeat process."""
+        self._heartbeat_interval = interval
+        if self._heartbeat_proc is not None and self._heartbeat_proc.is_alive:
+            return
+        self._heartbeat_proc = self.sim.process(
+            self.heartbeat_loop(interval), name=f"{self.name}.heartbeat"
+        )
+
+    def restart(self) -> None:
+        """Bring a stopped/crashed OSD back into service.
+
+        Restores the serving plane, background recyclers and (if one was
+        ever started) the heartbeat.  Block contents are whatever the store
+        currently holds — recovery installs rebuilt blocks before calling
+        this.
+        """
+        self.start()
+        self.strategy.start_background()
+        if self._heartbeat_interval is not None:
+            self.start_heartbeat(self._heartbeat_interval)
 
     # ------------------------------------------------------------------
     # handlers

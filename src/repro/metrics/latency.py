@@ -91,6 +91,39 @@ class LatencyRecorder:
         )
 
 
+def merge_windows(windows: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Union of possibly-overlapping [start, end] intervals, sorted.
+
+    Failure scenarios use this to turn per-OSD outage windows into the
+    disjoint downtime intervals their recovery metrics integrate over.
+    """
+    spans = sorted((a, b) for a, b in windows if b > a)
+    out: List[Tuple[float, float]] = []
+    for a, b in spans:
+        if out and a <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], b))
+        else:
+            out.append((a, b))
+    return out
+
+
+def window_samples(
+    recorder: "LatencyRecorder", windows: Sequence[Tuple[float, float]]
+) -> List[float]:
+    """Latency samples whose operation overlapped any of the windows.
+
+    An op overlaps a window if its [start, completion] span intersects it —
+    e.g. reads served while an OSD was down, whatever instant they
+    completed at.
+    """
+    out: List[float] = []
+    for t, lat in zip(recorder.completion_times, recorder.latencies):
+        start = t - lat
+        if any(start < b and t > a for a, b in windows):
+            out.append(lat)
+    return out
+
+
 @dataclass
 class IntervalSeries:
     """A named time series sampled at interval ends."""

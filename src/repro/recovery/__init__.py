@@ -5,6 +5,7 @@ from repro.recovery.recovery import (
     fail_osd,
     recover_node,
     recover_node_proc,
+    restore_osd,
     watch_and_recover,
 )
 from repro.recovery.scrub import ScrubReport, scrub
@@ -15,6 +16,7 @@ __all__ = [
     "fail_osd",
     "recover_node",
     "recover_node_proc",
+    "restore_osd",
     "scrub",
     "watch_and_recover",
 ]

@@ -1,4 +1,4 @@
-"""Node-failure recovery.
+"""Node-failure injection and recovery.
 
 The paper's recovery protocol (§2.3.2, §4.2): before reconstructing lost
 blocks, *all pending log state must be recycled* into data and parity blocks
@@ -8,18 +8,35 @@ Fig. 8b reports the resulting effective recovery bandwidth.
 
 Reconstruction itself: for every block the failed OSD hosted, a rebuilder
 (the ring-successor OSD) pulls the k cheapest surviving blocks of the
-stripe, decodes, and writes the lost block sequentially.
+stripe, decodes, and writes the lost block sequentially.  Recovery then
+*restores* the victim: the rebuilt blocks are installed as its replacement
+disk and its serving plane restarts, so post-recovery reads find the data
+through normal placement again.
+
+Failure modes (see :func:`fail_osd`):
+
+* ``"crash"`` — fail-stop.  In-flight handlers abort (their callers see
+  :class:`~repro.fs.messages.HostDownError` and retry), held stripe locks
+  are reclaimed, and the node's block contents are considered lost: only
+  :func:`recover_node` / :func:`watch_and_recover` bring it back.  A crash
+  can tear an in-flight update (data written, some parity delta never
+  applied), which is why recovery ends with a parity *repair* pass over
+  every stripe the victim participated in (``repair=True``).
+* ``"stop"`` — transient outage (maintenance/network blip).  In-flight
+  work completes, new connections block until :func:`restore_osd`, and the
+  store survives, so no rebuild is needed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.cluster import Cluster
-from repro.sim.events import AllOf
+from repro.fs.messages import HostDownError
+from repro.sim.events import AllOf, AnyOf
 
 
 @dataclass
@@ -32,44 +49,104 @@ class RecoveryResult:
     drain_seconds: float  # log recycle forced before reconstruction
     rebuild_seconds: float
     correct: bool
+    # Keys whose rebuilt bytes differed from the post-drain capture (first
+    # few, for diagnosis) — non-empty iff ``correct`` is False.
+    mismatched: List[Tuple[int, int, int]] = field(default_factory=list)
+    # Post-rebuild parity repair (crash tearing heal): stripes rewritten
+    # and the time the verification+rewrite pass took.
+    parity_repaired: int = 0
+    repair_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
-        return self.drain_seconds + self.rebuild_seconds
+        return self.drain_seconds + self.rebuild_seconds + self.repair_seconds
 
     @property
     def bandwidth_mbps(self) -> float:
-        """Effective recovery bandwidth in MB/s (includes drain stall)."""
-        if self.total_seconds <= 0:
+        """Effective recovery bandwidth in MB/s (includes drain stall).
+
+        Fig. 8b's quantity: reconstruction volume over drain + rebuild time
+        (the optional repair pass is method-independent and excluded).
+        """
+        denom = self.drain_seconds + self.rebuild_seconds
+        if denom <= 0:
             return 0.0
-        return self.bytes_recovered / self.total_seconds / (1 << 20)
+        return self.bytes_recovered / denom / (1 << 20)
 
 
-def fail_osd(cluster: Cluster, name: str) -> None:
-    """Take one OSD offline: it stops serving RPCs and heartbeating.
+def fail_osd(cluster: Cluster, name: str, mode: str = "crash") -> None:
+    """Take one OSD offline and mark it down cluster-wide.
 
-    Reads for its blocks must then go through the client's degraded-read
-    path until :func:`recover_node` rebuilds them.
+    ``mode="crash"`` is fail-stop (handlers aborted, stripe locks reclaimed,
+    callers failed); ``mode="stop"`` is a transient outage (in-flight work
+    completes, callers block until :func:`restore_osd`).  Either way reads
+    for its blocks go through the client degraded-read path and updates
+    touching its stripes fence until the OSD is back.
     """
-    cluster.osd_by_name(name).stop()
+    if mode not in ("crash", "stop"):
+        raise ValueError(f"unknown failure mode {mode!r}")
+    cluster.mark_down(name)
+    osd = cluster.osd_by_name(name)
+    if mode == "crash":
+        osd.crash()
+    else:
+        osd.stop()
 
 
-def watch_and_recover(cluster: Cluster, check_interval: float = 0.5):
+def restore_osd(cluster: Cluster, name: str) -> None:
+    """Bring a transiently-stopped OSD back and lift its fences.
+
+    For crash-mode failures use :func:`recover_node` instead — a crashed
+    node's blocks must be rebuilt, not just re-served.
+    """
+    osd = cluster.osd_by_name(name)
+    osd.restart()
+    cluster.mds.last_heartbeat[name] = cluster.sim.now
+    cluster.mark_up(name)
+
+
+def watch_and_recover(
+    cluster: Cluster,
+    check_interval: float = 0.5,
+    stop=None,
+    parallelism: int = 8,
+    verify: bool = True,
+    repair: bool = True,
+):
     """MDS-driven recovery loop (a process body).
 
-    Boot per-OSD heartbeats (``sim.process(osd.heartbeat_loop())``), start
-    this watcher, and it recovers the first OSD whose heartbeat lapses.
-    Returns the :class:`RecoveryResult`.
+    Boot per-OSD heartbeats (``osd.start_heartbeat(...)``), start this
+    watcher, and it recovers *every* OSD whose heartbeat lapses — including
+    failures that arrive while an earlier rebuild is still in progress,
+    which are picked up on the next pass instead of being silently dropped.
+    Runs until the ``stop`` event fires (forever when ``stop`` is None) and
+    returns the list of :class:`RecoveryResult`.
     """
     sim = cluster.sim
+    results: List[RecoveryResult] = []
     # Give every OSD a chance to heartbeat at least once.
     yield sim.timeout(check_interval)
-    while True:
-        failed = cluster.mds.failed_osds()
+    while stop is None or not stop.triggered:
+        failed = [
+            name
+            for name in cluster.mds.failed_osds()
+            if name in cluster.down_osds
+        ]
         if failed:
-            result = yield from recover_node_proc(cluster, failed[0])
-            return result
-        yield sim.timeout(check_interval)
+            result = yield from recover_node_proc(
+                cluster,
+                failed[0],
+                parallelism=parallelism,
+                verify=verify,
+                repair=repair,
+            )
+            results.append(result)
+            continue  # re-check immediately: more may have failed meanwhile
+        if stop is not None:
+            yield AnyOf(sim, [sim.timeout(check_interval), stop])
+        else:
+            yield sim.timeout(check_interval)
+    return results
 
 
 def recover_node(
@@ -77,6 +154,8 @@ def recover_node(
     failed_osd: str,
     parallelism: int = 8,
     verify: bool = True,
+    restore: bool = True,
+    repair: bool = False,
 ) -> RecoveryResult:
     """Fail one OSD and reconstruct everything it hosted (driver form).
 
@@ -86,7 +165,9 @@ def recover_node(
     """
     sim = cluster.sim
     proc = sim.process(
-        recover_node_proc(cluster, failed_osd, parallelism, verify),
+        recover_node_proc(
+            cluster, failed_osd, parallelism, verify, restore=restore, repair=repair
+        ),
         name="recover-node",
     )
     _run_until(sim, proc)
@@ -98,11 +179,36 @@ def recover_node_proc(
     failed_osd: str,
     parallelism: int = 8,
     verify: bool = True,
+    restore: bool = True,
+    repair: bool = False,
 ):
-    """Process body: drain logs, then reconstruct the failed OSD's blocks.
+    """Process body: drain logs, reconstruct, restore, optionally repair.
 
-    The failed OSD's stored blocks are captured for verification, then
-    dropped to emulate the loss.
+    Phases:
+
+    1. **Drain** — every pending log entry cluster-wide recycles into data
+       and parity blocks (§2.3.2).  The failed node's DataLog/DeltaLog
+       contents survive in their replicas on ring neighbours, so the drain
+       can always complete; we model the replica-driven drain by reviving
+       the serving plane of *every* down OSD for the duration (a reviver
+       process also catches OSDs that crash mid-recovery, so drain traffic
+       retrying against them unblocks).  Block contents of the victim are
+       still dropped below before reconstruction.
+    2. **Rebuild** — the ring-successor pulls k live blocks per lost block
+       (excluding every currently-down OSD, so an m>1 double fault still
+       decodes), reconstructs, and writes sequentially.  Sources that crash
+       mid-pull are dropped and the pull retried against the survivors.
+    3. **Restore** — the rebuilt blocks are installed as the victim's
+       replacement disk, its serving plane/heartbeat restart, and its
+       down-mark clears, so placement-directed reads work again.
+    4. **Repair** (``repair=True``; failure scenarios use this) — every
+       stripe the victim participated in is read back and its parity
+       re-encoded from data where it mismatches.  A crash can tear an
+       in-flight update (data written, one parity's delta lost with the
+       dead node); the client retries the update, but its recomputed delta
+       is zero once the data bytes match, so only re-encoding heals the
+       stripe.  Runs *before* the down-mark clears, while the stripes are
+       still write-fenced.
     """
     # Imported here: repro.harness.fig8 imports this module, and the
     # harness package imports fig8 — a top-level import would be circular.
@@ -110,86 +216,129 @@ def recover_node_proc(
 
     sim = cluster.sim
     victim = cluster.osd_by_name(failed_osd)
-    # §4.2: the failed node's DataLog/DeltaLog contents survive in their
-    # replicas on ring neighbours, so the pre-recovery drain can always
-    # complete.  We model the replica-driven drain by reviving the victim's
-    # serving loop for the drain phase (the replica holds identical bytes
-    # on an identical device, so the cost is equivalent); its *block*
-    # contents are still dropped below before reconstruction.
-    if not victim.running:
-        victim.start()
-        victim.strategy.start_background()
-    lost: Dict[Tuple[int, int, int], np.ndarray] = {
-        key: blk.copy() for key, blk in victim.store.blocks.items()
-    }
+    reviver_stop = sim.event(name="reviver-stop")
+    reviver = sim.process(
+        _revive_down_serving_planes(cluster, reviver_stop),
+        name=f"revive-for-drain:{failed_osd}",
+    )
     rebuilder = cluster.osd_by_name(cluster.replica_of(failed_osd))
 
-    # ------------------------------------------------------------------
-    # Phase 1: recycle all logs (consistency requirement, §2.3.2).
-    # ------------------------------------------------------------------
-    t_start = sim.now
-    yield from drain_all(cluster)
-    # Capture post-drain truth (what reconstruction must reproduce), then
-    # drop the victim's blocks.
-    truth = {key: blk.copy() for key, blk in victim.store.blocks.items()}
-    victim.store.blocks.clear()
-    drain_seconds = sim.now - t_start
+    try:
+        # --------------------------------------------------------------
+        # Phase 1: recycle all logs (consistency requirement, §2.3.2).
+        # --------------------------------------------------------------
+        t_start = sim.now
+        yield from drain_all(cluster)
+        # Capture post-drain truth (what reconstruction must reproduce),
+        # then drop the victim's blocks.
+        truth = {key: blk.copy() for key, blk in victim.store.blocks.items()}
+        victim.store.blocks.clear()
+        drain_seconds = sim.now - t_start
 
-    # ------------------------------------------------------------------
-    # Phase 2: reconstruct, `parallelism` blocks at a time.
-    # ------------------------------------------------------------------
-    t_rebuild = sim.now
-    keys = sorted(truth.keys())
-    k = cluster.config.k
-    m = cluster.config.m
+        # --------------------------------------------------------------
+        # Phase 2: reconstruct, `parallelism` blocks at a time.
+        # --------------------------------------------------------------
+        t_rebuild = sim.now
+        keys = sorted(truth.keys())
+        k = cluster.config.k
+        m = cluster.config.m
 
-    def rebuild_one(key):
-        inode, stripe, lost_index = key
-        names = cluster.placement(inode, stripe)
-        # Pull the k lowest-indexed surviving blocks of the stripe.
-        sources = [
-            (b, names[b]) for b in range(k + m) if names[b] != failed_osd
-        ][:k]
-        pulls = [
-            sim.process(
-                rebuilder.rpc(
-                    osd_name,
-                    "recovery_read",
-                    {"key": (inode, stripe, b)},
-                    nbytes=24,
-                )
-            )
-            for b, osd_name in sources
-        ]
-        replies = yield AllOf(sim, pulls)
-        shards = {b: rep["data"] for (b, _), rep in zip(sources, replies)}
-        rebuilt = cluster.codec.reconstruct(shards, [lost_index])[lost_index]
-        yield from rebuilder.store.write_block(key, rebuilt, pattern="seq")
-        return key, rebuilt
+        def rebuild_one(key):
+            inode, stripe, lost_index = key
+            names = cluster.placement(inode, stripe)
+            while True:
+                # Pull the k lowest-indexed blocks that are actually live —
+                # a second fault during rebuild must not be used as (or
+                # wedge on) a source.
+                sources = [
+                    (b, names[b])
+                    for b in range(k + m)
+                    if names[b] != failed_osd and names[b] not in cluster.down_osds
+                ][:k]
+                if len(sources) < k:
+                    raise RuntimeError(
+                        f"stripe ({inode},{stripe}) has only {len(sources)} "
+                        f"live blocks; unrecoverable with k={k}"
+                    )
+                pulls = [
+                    sim.process(
+                        rebuilder.rpc(
+                            osd_name,
+                            "recovery_read",
+                            {"key": (inode, stripe, b)},
+                            nbytes=24,
+                        )
+                    )
+                    for b, osd_name in sources
+                ]
+                try:
+                    replies = yield AllOf(sim, pulls)
+                    break
+                except HostDownError:
+                    # A source died mid-pull; re-plan against the survivors.
+                    yield sim.timeout(1e-3)
+            shards = {b: rep["data"] for (b, _), rep in zip(sources, replies)}
+            rebuilt = cluster.codec.reconstruct(shards, [lost_index])[lost_index]
+            yield from rebuilder.store.write_block(key, rebuilt, pattern="seq")
+            return key, rebuilt
 
-    results: Dict[Tuple[int, int, int], np.ndarray] = {}
+        results: Dict[Tuple[int, int, int], np.ndarray] = {}
 
-    def driver():
-        pending = list(keys)
-        while pending:
-            batch = pending[:parallelism]
-            del pending[:parallelism]
-            procs = [sim.process(rebuild_one(key)) for key in batch]
-            done = yield AllOf(sim, procs)
-            for key, blk in done:
-                results[key] = blk
+        def driver():
+            pending = list(keys)
+            while pending:
+                batch = pending[:parallelism]
+                del pending[:parallelism]
+                procs = [sim.process(rebuild_one(key)) for key in batch]
+                done = yield AllOf(sim, procs)
+                for key, blk in done:
+                    results[key] = blk
 
-    _ensure_recovery_handlers(cluster)
-    yield from driver()
-    rebuild_seconds = sim.now - t_rebuild
+        _ensure_recovery_handlers(cluster)
+        yield from driver()
+        rebuild_seconds = sim.now - t_rebuild
 
-    correct = True
-    if verify:
-        for key, expect in truth.items():
-            got = results.get(key)
-            if got is None or not np.array_equal(got, expect):
-                correct = False
-                break
+        mismatched: List[Tuple[int, int, int]] = []
+        if verify:
+            for key, expect in sorted(truth.items()):
+                got = results.get(key)
+                if got is None or not np.array_equal(got, expect):
+                    mismatched.append(key)
+                    if len(mismatched) >= 8:
+                        break
+
+        # --------------------------------------------------------------
+        # Phase 3: restore — the rebuilt blocks become the victim's
+        # replacement disk and it rejoins the cluster.
+        # --------------------------------------------------------------
+        if restore:
+            # The rebuilt blocks become the victim's replacement disk; the
+            # rebuilder's staging copies are dropped so it does not hold
+            # stale duplicates of keys placement maps to the victim (they
+            # would poison its own truth capture if it failed later).
+            for key, blk in results.items():
+                victim.store.install(key, blk)
+                rebuilder.store.blocks.pop(key, None)
+            victim.strategy.on_rebuilt()
+            victim.restart()
+
+        # --------------------------------------------------------------
+        # Phase 4: parity repair over every stripe the victim touches.
+        # --------------------------------------------------------------
+        repaired = 0
+        repair_seconds = 0.0
+        if repair:
+            t_repair = sim.now
+            repaired = yield from _repair_stripes(cluster, failed_osd)
+            repair_seconds = sim.now - t_repair
+
+        if restore:
+            cluster.mds.last_heartbeat[failed_osd] = sim.now
+            cluster.mark_up(failed_osd)
+    finally:
+        if not reviver_stop.triggered:
+            reviver_stop.succeed()
+        yield reviver
 
     return RecoveryResult(
         failed_osd=failed_osd,
@@ -197,12 +346,99 @@ def recover_node_proc(
         bytes_recovered=len(keys) * cluster.config.block_size,
         drain_seconds=drain_seconds,
         rebuild_seconds=rebuild_seconds,
-        correct=correct,
+        correct=not mismatched,
+        mismatched=mismatched,
+        parity_repaired=repaired,
+        repair_seconds=repair_seconds,
     )
 
 
+def _revive_down_serving_planes(cluster: Cluster, stop):
+    """Keep down OSDs' serving planes alive while recovery drains.
+
+    §4.2: a dead node's log contents survive in replicas on ring
+    neighbours, so drain traffic addressed to it can always be absorbed.
+    We model that by (re)booting the dispatcher + recyclers of every
+    *crashed* OSD currently marked down — including ones that crash
+    *during* an ongoing recovery, which would otherwise deadlock the drain
+    barrier.  Stop-mode (transient) outages are left alone: their contract
+    is that callers block until :func:`restore_osd`, and their logs are
+    merely unreachable, not lost.  The revived OSDs stay marked down:
+    clients keep fencing and degrading around them.
+    """
+    sim = cluster.sim
+    while not stop.triggered:
+        for name in sorted(cluster.down_osds):
+            osd = cluster.osd_by_name(name)
+            if osd.crashed and not osd.running:
+                osd.start()
+                osd.strategy.start_background()
+        yield AnyOf(sim, [sim.timeout(1e-3), stop])
+
+
+def _repair_stripes(cluster: Cluster, failed_osd: str):
+    """Verify-and-rewrite parity of every stripe ``failed_osd`` is in.
+
+    Reads all k+m blocks of each such stripe (costed, via the recovery
+    read path), re-encodes, and rewrites any parity block that disagrees.
+    Returns the number of stripes repaired (generator).
+    """
+    sim = cluster.sim
+    cfg = cluster.config
+    span = cfg.k * cfg.block_size
+    _ensure_recovery_handlers(cluster)
+    reader = cluster.osd_by_name(cluster.replica_of(failed_osd))
+    repaired = 0
+    for inode, meta in sorted(cluster.mds.files.items()):
+        for stripe in range(meta.size // span):
+            names = cluster.placement(inode, stripe)
+            if failed_osd not in names:
+                continue
+            while True:
+                try:
+                    pulls = [
+                        sim.process(
+                            reader.rpc(
+                                names[b], "recovery_read",
+                                {"key": (inode, stripe, b)}, nbytes=24,
+                            )
+                        )
+                        for b in range(cfg.k + cfg.m)
+                    ]
+                    replies = yield AllOf(sim, pulls)
+                    blocks = [rep["data"] for rep in replies]
+                    expect = cluster.codec.encode(blocks[: cfg.k])
+                    bad = [
+                        p for p in range(cfg.m)
+                        if not np.array_equal(blocks[cfg.k + p], expect[p])
+                    ]
+                    if bad:
+                        writes = [
+                            sim.process(
+                                reader.rpc(
+                                    names[cfg.k + p],
+                                    "recovery_write",
+                                    {"key": (inode, stripe, cfg.k + p),
+                                     "data": expect[p]},
+                                    nbytes=cfg.block_size,
+                                )
+                            )
+                            for p in bad
+                        ]
+                        yield AllOf(sim, writes)
+                        repaired += 1
+                    break
+                except HostDownError:
+                    # A member crashed mid-repair.  The reviver (running for
+                    # the whole recovery) brings its serving plane back, so
+                    # retry this stripe; the fresh crash victim gets its own
+                    # drain + repair pass when it is recovered next.
+                    yield sim.timeout(1e-3)
+    return repaired
+
+
 def _ensure_recovery_handlers(cluster: Cluster) -> None:
-    """Install the whole-block recovery read RPC on every OSD (idempotent)."""
+    """Install whole-block recovery read/write RPCs on every OSD (idempotent)."""
     for osd in cluster.osds:
         if "recovery_read" in osd.handlers:
             continue
@@ -213,7 +449,14 @@ def _ensure_recovery_handlers(cluster: Cluster) -> None:
             data = yield from osd.store.read_range(key, 0, size, pattern="seq")
             return {"data": data}, size
 
+        def w_handler(msg, osd=osd):
+            yield from osd.store.write_block(
+                msg.payload["key"], msg.payload["data"], pattern="seq"
+            )
+            return {"ok": True}, 8
+
         osd.register("recovery_read", handler)
+        osd.register("recovery_write", w_handler)
 
 
 def _run_until(sim, proc) -> None:

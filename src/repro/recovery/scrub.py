@@ -10,12 +10,20 @@ cost-free and test-only.
 A scrub of a stripe with *pending log state* would report false mismatches
 (parity legitimately lags under every logging method), so the scrubber
 skips stripes whose strategies report pending work unless ``force=True``.
+The pending check is scoped to the stripe being scrubbed — one busy stripe
+(or one OSD with any pending logs) must not make the scrubber skip
+fully-clean stripes elsewhere.  Stripes with a down member are always
+skipped (their blocks cannot all be read).  Every skip is reported by key
+in :attr:`ScrubReport.skipped` so operators can re-scrub exactly those.
+
+Failure scenarios use a forced scrub as the post-recovery gate: after
+recovery + repair, every touched stripe must scrub clean.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Tuple
 
 import numpy as np
 
@@ -28,10 +36,14 @@ class ScrubReport:
     """Outcome of one scrub pass."""
 
     stripes_checked: int = 0
-    stripes_skipped: int = 0
     mismatches: List[Tuple[int, int]] = field(default_factory=list)  # (inode, stripe)
+    skipped: List[Tuple[int, int]] = field(default_factory=list)
     bytes_read: int = 0
     seconds: float = 0.0
+
+    @property
+    def stripes_skipped(self) -> int:
+        return len(self.skipped)
 
     @property
     def clean(self) -> bool:
@@ -57,10 +69,13 @@ def scrub(
     t0 = sim.now
     scrubber = cluster.osds[0]  # any node can drive a scrub
     for inode, stripe in targets:
-        if not force and _has_pending_log_state(cluster):
-            report.stripes_skipped += 1
-            continue
         names = cluster.placement(inode, stripe)
+        if any(name in cluster.down_osds for name in names):
+            report.skipped.append((inode, stripe))
+            continue
+        if not force and _stripe_has_pending(cluster, inode, stripe):
+            report.skipped.append((inode, stripe))
+            continue
         pulls = [
             sim.process(
                 scrubber.rpc(
@@ -82,22 +97,18 @@ def scrub(
     return report
 
 
-def _has_pending_log_state(cluster: Cluster) -> bool:
-    """True if any strategy still holds unrecycled updates."""
-    for osd in cluster.osds:
-        strategy = osd.strategy
-        pending = getattr(strategy, "pending_log_bytes", None)
-        if pending is not None and pending() > 0:
-            return True
-        engine = getattr(strategy, "engine", None)
-        if engine is not None:
-            if engine.pending_recycles() > 0:
-                return True
-            for pools in (engine.data_pools, engine.delta_pools, engine.parity_pools):
-                for pool in pools:
-                    active = pool.active
-                    if active is not None and active.used > 0:
-                        return True
-                    if pool.has_pending_recycle():
-                        return True
-    return False
+def _stripe_has_pending(cluster: Cluster, inode: int, stripe: int) -> bool:
+    """True if any member OSD's strategy holds unrecycled updates for the
+    stripe.
+
+    Every strategy's pending state lives on stripe members: data-side logs
+    on the data-block OSD, parity/delta logs and collector buffers on the
+    parity OSDs (TSUE's replica DataLog on the ring neighbour holds copies
+    only — the primary tracks the truth).  Best-effort: deltas in flight
+    between two log layers for an instant are not visible; the hard
+    consistency gates run post-drain where nothing is in flight.
+    """
+    return any(
+        cluster.osd_by_name(name).strategy.stripe_pending(inode, stripe)
+        for name in cluster.placement(inode, stripe)
+    )

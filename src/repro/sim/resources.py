@@ -164,6 +164,26 @@ class KeyedLock:
         else:
             del self._holders[key]
 
+    def force_reset(self, error: Optional[BaseException] = None) -> None:
+        """Abandon every held key and queued waiter (host crash recovery).
+
+        A crashed OSD's aborted handler processes normally release their
+        keys through ``finally`` blocks as the interrupt unwinds them, but a
+        grant can race the interrupt: a dying holder's release hands the key
+        to a waiter that is itself about to die, and the key would then be
+        held by a corpse forever — wedging every later same-key acquirer.
+        ``force_reset`` clears all holder/queue state; still-pending waiter
+        events are failed with ``error`` so any live waiter gets a clean
+        exception instead of sleeping forever.
+        """
+        error = error or RuntimeError(f"{self.name}: lock manager reset")
+        for queue in self._queues.values():
+            for ev, _holder, _t in queue:
+                if not ev.triggered:
+                    ev.fail(error)
+        self._queues.clear()
+        self._holders.clear()
+
 
 class Store:
     """An unbounded FIFO of items with blocking ``get``.
@@ -201,3 +221,20 @@ class Store:
         if self._items:
             return self._items.popleft()
         return None
+
+    def pop_all(self) -> List[Any]:
+        """Drain every queued item at once (crash cleanup)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def cancel_getters(self) -> None:
+        """Drop pending ``get`` events without firing them.
+
+        A stopped dispatcher leaves its last ``get`` queued; if the host
+        later restarts, that stale getter would silently eat the first
+        ``put`` meant for the new dispatcher.  The abandoned events are
+        never fired — their waiters are dead processes whose callbacks
+        no-op anyway.
+        """
+        self._getters.clear()

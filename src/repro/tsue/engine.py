@@ -424,12 +424,14 @@ class TSUEEngine:
         if cfg.use_delta_log and m >= 2:
             # Forward to the DeltaLogs of the first two parity OSDs: the
             # first is the primary (it recycles), the second the replica.
+            # Retrying pushes: the recycle worker owns these deltas and
+            # the destination may be mid-failure/recovery.
             calls = []
             for rank, primary in ((0, True), (1, False)):
                 dst = names[k + rank]
                 calls.append(
                     self.sim.process(
-                        self.osd.rpc(
+                        self.osd.rpc_with_retry(
                             dst,
                             "tsue_delta",
                             {
@@ -453,7 +455,7 @@ class TSUEEngine:
                 ]
                 calls.append(
                     self.sim.process(
-                        self.osd.rpc(
+                        self.osd.rpc_with_retry(
                             names[k + p],
                             "tsue_parity",
                             {"pkey": (inode, stripe, k + p), "entries": pentries},
@@ -491,7 +493,7 @@ class TSUEEngine:
             nbytes = sum(int(d.size) for _, d in entries)
             calls.append(
                 self.sim.process(
-                    self.osd.rpc(
+                    self.osd.rpc_with_retry(
                         names[k + p],
                         "tsue_parity",
                         {"pkey": pkey, "entries": entries},
@@ -541,3 +543,24 @@ class TSUEEngine:
 
     def pending_recycles(self) -> int:
         return sum(self._pending.values())
+
+    def stripe_pending(self, inode: int, stripe: int) -> bool:
+        """True if any log layer still holds unrecycled entries for the
+        stripe (best-effort; scoped per stripe for the scrubber).
+
+        DataLog and DeltaLog units are keyed by data-block keys, ParityLog
+        units by parity keys — all carry ``(inode, stripe, ...)``.  Units
+        already RECYCLED keep their index as a read cache and are excluded:
+        their content has been applied.
+        """
+        from repro.logstruct.states import UnitState
+
+        for pools in (self.data_pools, self.delta_pools, self.parity_pools):
+            for pool in pools:
+                for unit in pool.units:
+                    if unit.state is UnitState.RECYCLED:
+                        continue
+                    for key in unit.index.blocks():
+                        if key[0] == inode and key[1] == stripe:
+                            return True
+        return False

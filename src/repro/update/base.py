@@ -76,6 +76,27 @@ class UpdateStrategy:
         """Logged fragments overlapping a read, or None if not applicable."""
         return None
 
+    def stripe_pending(self, inode: int, stripe: int) -> bool:
+        """True if this strategy holds unrecycled state for the stripe.
+
+        Scoped per stripe so the scrubber can skip exactly the stripes
+        whose parity legitimately lags, instead of skipping everything
+        whenever anything is pending.  Strategies without logs (FO) keep
+        the default False.
+        """
+        return False
+
+    def on_rebuilt(self) -> None:
+        """Called after this OSD's blocks were reconstructed from survivors.
+
+        Rebuilt blocks equal re-encoded live data, not whatever this node
+        held pre-crash — strategies whose in-memory state encodes
+        assumptions about on-disk content (PARIX's original images) must
+        invalidate it here.  Log state proper needs no reset: recovery
+        drains every log before reconstruction and the node's stripes stay
+        write-fenced until it rejoins.
+        """
+
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------

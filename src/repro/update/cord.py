@@ -47,6 +47,9 @@ class CoRDStrategy(UpdateStrategy):
         # concurrency bottleneck the paper attributes to CoRD.
         self.lock = Resource(osd.sim, capacity=1, name=f"{osd.name}.cordlock")
         self._apply_lock = Resource(osd.sim, capacity=1, name=f"{osd.name}.cordapply")
+        # Stripes inside snapshots that are detached from the buffer but not
+        # yet applied, so stripe_pending covers the whole recycle window.
+        self._inflight_stripes: Dict[Tuple[int, int], int] = {}
         super().__init__(osd)
 
     def register_handlers(self) -> None:
@@ -114,9 +117,20 @@ class CoRDStrategy(UpdateStrategy):
             snapshot[(inode, stripe)] = {
                 j: self.buf_index.pop_block((inode, stripe, j)) for j in js
             }
+            self._inflight_stripes[(inode, stripe)] = (
+                self._inflight_stripes.get((inode, stripe), 0) + 1
+            )
         self.buf_stripes.clear()
         self.buf_used = 0
         return snapshot
+
+    def _release_inflight(self, snapshot) -> None:
+        for sk in snapshot:
+            left = self._inflight_stripes.get(sk, 0) - 1
+            if left <= 0:
+                self._inflight_stripes.pop(sk, None)
+            else:
+                self._inflight_stripes[sk] = left
 
     def _apply_snapshot(self, snapshot):
         """Combine (Eq. 5) and push to every parity block.
@@ -149,9 +163,11 @@ class CoRDStrategy(UpdateStrategy):
                         for off, pd in entries:
                             yield from self.apply_parity_delta(pkey, off, pd)
                     else:
+                        # Retrying push: the recycle owns this combined
+                        # delta and the parity OSD may be mid-recovery.
                         calls.append(
                             self.sim.process(
-                                self.osd.rpc(
+                                self.osd.rpc_with_retry(
                                     names[k + p],
                                     "cord_apply",
                                     {"pkey": pkey, "entries": entries},
@@ -162,6 +178,7 @@ class CoRDStrategy(UpdateStrategy):
             if calls:
                 yield AllOf(self.sim, calls)
         finally:
+            self._release_inflight(snapshot)
             self._apply_lock.release()
 
     def _h_apply(self, msg):
@@ -185,3 +202,7 @@ class CoRDStrategy(UpdateStrategy):
 
     def pending_log_bytes(self) -> int:
         return self.buf_used
+
+    def stripe_pending(self, inode: int, stripe: int) -> bool:
+        sk = (inode, stripe)
+        return sk in self.buf_stripes or sk in self._inflight_stripes

@@ -79,9 +79,11 @@ class FLStrategy(UpdateStrategy):
                     delta = old ^ seg.data
                     for p, osd_name in self.parity_targets(key):
                         pdelta = self.cluster.codec.parity_delta(key[2], p, delta)
+                        # Retrying push: the recycle worker owns this delta
+                        # and the parity OSD may be mid-failure/recovery.
                         calls.append(
                             self.sim.process(
-                                self.osd.rpc(
+                                self.osd.rpc_with_retry(
                                     osd_name,
                                     "fl_apply",
                                     {
@@ -108,3 +110,9 @@ class FLStrategy(UpdateStrategy):
 
     def pending_log_bytes(self) -> int:
         return self.log_bytes
+
+    def stripe_pending(self, inode: int, stripe: int) -> bool:
+        return any(
+            key[0] == inode and key[1] == stripe
+            for key in self.log_index.blocks()
+        )

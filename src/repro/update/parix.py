@@ -57,6 +57,9 @@ class PARIXStrategy(UpdateStrategy):
         self.recycle_threshold_bytes = recycle_threshold_bytes
         self._recycling = False
         self._recycle_waiters = []
+        # Stripes with popped-but-not-yet-applied patch jobs in flight, so
+        # stripe_pending stays true until the parity RMW really lands.
+        self._inflight_stripe_jobs: Dict[Tuple[int, int], int] = {}
         super().__init__(osd)
 
     def _wait_not_recycling(self):
@@ -119,10 +122,18 @@ class PARIXStrategy(UpdateStrategy):
             self.orig_index.insert(key, seg.offset, seg.data)
         return patches
 
-    def _apply_patches(self, patches):
+    def _apply_patches(self, patches, stripe_key=None):
         """Device application of precomputed patches (XOR commutes)."""
-        for pkey, offset, pdelta in patches:
-            yield from self.apply_parity_delta(pkey, offset, pdelta)
+        try:
+            for pkey, offset, pdelta in patches:
+                yield from self.apply_parity_delta(pkey, offset, pdelta)
+        finally:
+            if stripe_key is not None:
+                left = self._inflight_stripe_jobs.get(stripe_key, 0) - 1
+                if left <= 0:
+                    self._inflight_stripe_jobs.pop(stripe_key, None)
+                else:
+                    self._inflight_stripe_jobs[stripe_key] = left
 
     # ------------------------------------------------------------------
     # data-OSD side
@@ -274,7 +285,11 @@ class PARIXStrategy(UpdateStrategy):
             segs = self.latest_index.pop_block(key)
             if segs:
                 patches = self._make_patches(key, segs, k)
-                jobs.append(self.sim.process(self._apply_patches(patches)))
+                sk = (key[0], key[1])
+                self._inflight_stripe_jobs[sk] = (
+                    self._inflight_stripe_jobs.get(sk, 0) + 1
+                )
+                jobs.append(self.sim.process(self._apply_patches(patches, sk)))
         # Accounting: entries appended mid-scan survive in the fresh
         # ledgers and are charged on top; live originals are rewritten by
         # the caller.
@@ -309,3 +324,32 @@ class PARIXStrategy(UpdateStrategy):
 
     def pending_log_bytes(self) -> int:
         return self.log_bytes
+
+    def on_rebuilt(self) -> None:
+        """Reset speculation state invalidated by block reconstruction.
+
+        The rebuilt parity blocks equal ``encode(live data)``; originals
+        captured before the crash no longer describe them, and a delta
+        computed against a stale original would corrupt the rebuilt parity
+        (the post-recovery scrub gate catches exactly that).  Cleared here,
+        the next update to any location is a "first" again — recovery's
+        cluster-wide drain already cleared every data side's ``seen``, so
+        originals are re-shipped and speculation restarts cleanly.
+        """
+        self.seen.clear()
+        self.orig_index = TwoLevelIndex("overwrite")
+        self.latest_index = TwoLevelIndex("overwrite")
+        self.log_entries.clear()
+        self.log_bytes = 0
+        self.orig_bytes = 0
+
+    def stripe_pending(self, inode: int, stripe: int) -> bool:
+        # Pending parity lag = unrecycled *latest* entries plus popped patch
+        # jobs still applying; live originals alone are a consistent
+        # snapshot, not lag.
+        if (inode, stripe) in self._inflight_stripe_jobs:
+            return True
+        return any(
+            key[0] == inode and key[1] == stripe and entries
+            for key, entries in self.log_entries.items()
+        )

@@ -88,40 +88,53 @@ class PLStrategy(UpdateStrategy):
 
         PL does not exploit locality, so the device cost is charged per raw
         log entry; the byte-exact merged content lands at the end.
+
+        Runs correctly under concurrent appends (recovery drains while
+        foreground updates keep flowing): the ledger is snapshot-swapped
+        before the first yield, and the loop repeats until no entries
+        arrived mid-pass.  ``pop_block`` may also fold in deltas that
+        landed after the snapshot — their ledger entries then cost a
+        (cheap, content-less) second pass, but every delta's content is
+        applied exactly once.
         """
-        if not self.log_entries:
-            return
-        yield from self.osd.device.read(
-            self.log_bytes + PL_HEADER * sum(len(v) for v in self.log_entries.values()),
-            zone="pl_log",
-            pattern="seq",
-        )
-        for pkey, entries in self.log_entries.items():
-            for offset, size in entries:
-                # Unmerged: one random read + write per logged entry.
-                yield from self.osd.device.read(
-                    size,
-                    zone="blocks",
-                    offset=self.osd.store.device_offset(pkey) + offset,
-                    pattern="rand",
-                )
-                yield from self.osd.device.write(
-                    size,
-                    zone="blocks",
-                    offset=self.osd.store.device_offset(pkey) + offset,
-                    pattern="rand",
-                    overwrite=True,
-                )
-            # Apply the exact merged bytes once (no extra simulated cost —
-            # the per-entry loop above already charged it).
-            blk = self.osd.store._materialize(pkey)
-            for seg in self.log_index.pop_block(pkey):
-                blk[seg.offset : seg.end] ^= seg.data
-        self.log_entries.clear()
-        self.log_bytes = 0
+        while self.log_entries:
+            pending, self.log_entries = self.log_entries, {}
+            pending_bytes, self.log_bytes = self.log_bytes, 0
+            yield from self.osd.device.read(
+                pending_bytes + PL_HEADER * sum(len(v) for v in pending.values()),
+                zone="pl_log",
+                pattern="seq",
+            )
+            for pkey, entries in pending.items():
+                for offset, size in entries:
+                    # Unmerged: one random read + write per logged entry.
+                    yield from self.osd.device.read(
+                        size,
+                        zone="blocks",
+                        offset=self.osd.store.device_offset(pkey) + offset,
+                        pattern="rand",
+                    )
+                    yield from self.osd.device.write(
+                        size,
+                        zone="blocks",
+                        offset=self.osd.store.device_offset(pkey) + offset,
+                        pattern="rand",
+                        overwrite=True,
+                    )
+                # Apply the exact merged bytes once (no extra simulated cost
+                # — the per-entry loop above already charged it).
+                blk = self.osd.store._materialize(pkey)
+                for seg in self.log_index.pop_block(pkey):
+                    blk[seg.offset : seg.end] ^= seg.data
 
     def drain(self, phase: int = 0):
         yield from self._recycle_all()
 
     def pending_log_bytes(self) -> int:
         return self.log_bytes
+
+    def stripe_pending(self, inode: int, stripe: int) -> bool:
+        return any(
+            pkey[0] == inode and pkey[1] == stripe and entries
+            for pkey, entries in self.log_entries.items()
+        )

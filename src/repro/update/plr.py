@@ -128,3 +128,9 @@ class PLRStrategy(UpdateStrategy):
 
     def pending_log_bytes(self) -> int:
         return sum(self.region_used.values())
+
+    def stripe_pending(self, inode: int, stripe: int) -> bool:
+        return any(
+            pkey[0] == inode and pkey[1] == stripe and used > 0
+            for pkey, used in self.region_used.items()
+        )

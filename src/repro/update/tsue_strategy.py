@@ -95,6 +95,9 @@ class TSUEStrategy(UpdateStrategy):
     def read_overlay(self, key, offset, length):
         return self.engine.read_overlay(key, offset, length)
 
+    def stripe_pending(self, inode: int, stripe: int) -> bool:
+        return self.engine.stripe_pending(inode, stripe)
+
     def drain(self, phase: int = 0):
         layer = (DATA, DELTA, PARITY)[phase]
         yield from self.engine.drain_layer(layer)

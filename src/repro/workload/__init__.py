@@ -8,11 +8,15 @@ outstanding update per client).  This package opens the workload axis:
 * :mod:`~repro.workload.generator` — :class:`OpenLoopGenerator`, an
   arrival-driven client driver with bounded pipelining (``iodepth``),
   mixed read/update ratios and multi-file tenant sharding;
+* :mod:`~repro.workload.faults` — schedulable fault injection
+  (fail/restore events on the sim clock, with crash and transient modes);
 * :mod:`~repro.workload.scenarios` — a registry of named end-to-end
   scenarios (``steady``, ``burst``, ``diurnal``, ``mixed_rw``,
-  ``multi_tenant``, ``hot_stripe``) behind ``repro scenario`` / ``repro
-  bench``, with a hard parity-consistency gate on every drain and
-  stripe-lock wait metrics in every result.
+  ``multi_tenant``, ``hot_stripe``, plus the failure axis
+  ``degraded_read``, ``rebuild_under_load``, ``double_fault``) behind
+  ``repro scenario`` / ``repro bench``, with a hard parity-consistency
+  gate on every drain, a forced post-recovery scrub gate on every failure
+  scenario, and stripe-lock wait + recovery metrics in the results.
 """
 
 from repro.workload.arrival import (
@@ -22,11 +26,18 @@ from repro.workload.arrival import (
     OnOffArrivals,
     PoissonArrivals,
 )
+from repro.workload.faults import (
+    FaultEvent,
+    FaultInjector,
+    primary_victim,
+    secondary_victim,
+)
 from repro.workload.generator import OpenLoopGenerator, WorkloadSpec
 from repro.workload.scenarios import (
     METHODS,
     SCENARIOS,
     InconsistentDrainError,
+    PostRecoveryScrubError,
     Scenario,
     ScenarioResult,
     register_scenario,
@@ -41,19 +52,24 @@ __all__ = [
     "ArrivalProcess",
     "ClosedLoop",
     "DiurnalArrivals",
+    "FaultEvent",
+    "FaultInjector",
     "InconsistentDrainError",
     "METHODS",
     "OnOffArrivals",
     "OpenLoopGenerator",
     "PoissonArrivals",
+    "PostRecoveryScrubError",
     "SCENARIOS",
     "Scenario",
     "ScenarioResult",
     "WorkloadSpec",
+    "primary_victim",
     "register_scenario",
     "results_to_json",
     "run_all_scenarios",
     "run_method_sweep",
     "run_scenario",
     "scenario_config",
+    "secondary_victim",
 ]

@@ -1,0 +1,93 @@
+"""Schedulable fault injection for scenario runs.
+
+A :class:`FaultSchedule` is a list of :class:`FaultEvent` — fail/restore
+actions at fixed virtual times, driven off the sim clock by a
+:class:`FaultInjector` process running alongside the open-loop workload.
+Victims are picked lazily (at fire time, against the live cluster) by small
+deterministic picker functions, so schedules are declared once per scenario
+and work at any geometry.
+
+Failure modes map onto :func:`repro.recovery.fail_osd`:
+
+* ``"crash"`` — fail-stop; recovery (``watch_and_recover``) must rebuild
+  and restore the node;
+* ``"stop"`` — transient outage; a paired ``"restore"`` event brings the
+  node back with its store intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple, Union
+
+from repro.recovery import fail_osd, restore_osd
+
+# A victim is a literal OSD name or a picker ``(cluster, inodes) -> name``.
+VictimSpec = Union[str, Callable]
+
+
+def primary_victim(cluster, inodes: Sequence[int]) -> str:
+    """The OSD hosting data block 0 of the first file's first stripe —
+    deterministic, and guaranteed to carry foreground traffic."""
+    return cluster.placement(inodes[0], 0)[0]
+
+
+def secondary_victim(cluster, inodes: Sequence[int]) -> str:
+    """A second distinct victim for double-fault schedules.
+
+    Avoids both the first victim and its ring successor (the rebuilder
+    writing the first victim's replacement blocks), so the first rebuild
+    can complete and the double fault exercises *source* loss, not
+    rebuilder loss.
+    """
+    names = cluster.placement(inodes[0], 0)
+    avoid = {names[0], cluster.replica_of(names[0])}
+    for name in names[1:]:
+        if name not in avoid:
+            return name
+    raise RuntimeError("no eligible secondary victim in stripe 0")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled action on one OSD."""
+
+    at: float           # virtual seconds from scenario start
+    action: str         # "fail" | "restore"
+    victim: VictimSpec
+    mode: str = "crash"  # failure mode for "fail" events
+
+    def __post_init__(self):
+        if self.action not in ("fail", "restore"):
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if self.mode not in ("crash", "stop"):
+            raise ValueError(f"unknown failure mode {self.mode!r}")
+
+
+class FaultInjector:
+    """Fires a schedule of fault events inside a running scenario."""
+
+    def __init__(self, cluster, inodes: Sequence[int], events: Sequence[FaultEvent]):
+        self.cluster = cluster
+        self.inodes = list(inodes)
+        self.events = sorted(events, key=lambda e: e.at)
+        # (time, action, osd_name) as actually fired — scenario metrics and
+        # tests read this back.
+        self.timeline: List[Tuple[float, str, str]] = []
+
+    def _resolve(self, spec: VictimSpec) -> str:
+        return spec if isinstance(spec, str) else spec(self.cluster, self.inodes)
+
+    def run(self):
+        """The injector process body (pass to ``sim.process``)."""
+        sim = self.cluster.sim
+        for event in self.events:
+            if event.at > sim.now:
+                yield sim.timeout(event.at - sim.now)
+            name = self._resolve(event.victim)
+            if event.action == "fail":
+                fail_osd(self.cluster, name, mode=event.mode)
+            else:
+                restore_osd(self.cluster, name)
+            self.timeline.append((sim.now, event.action, name))
+        return self.timeline

@@ -26,17 +26,30 @@ returning a result.  The cost of that serialization is measured: every
 :class:`ScenarioResult` carries stripe-lock wait metrics, and the
 ``hot_stripe`` scenario (zipf-skewed offsets hammering a few stripes)
 exists to maximise the contention the locks must absorb.
+
+**Failure scenarios** (``degraded_read``, ``rebuild_under_load``,
+``double_fault``) add a fault schedule on top of the workload: OSDs crash
+or blip out mid-run, clients fence/degrade around them, and (for crash
+modes) an MDS watcher rebuilds and restores the nodes while foreground
+updates continue — the regime of the paper's §2.3.2/Fig. 8b recovery
+story, under live load.  Two extra hard gates apply: every failure must be
+healed before drain (a leftover down OSD is an error), and a *forced
+post-recovery scrub* of every stripe the workload could have touched must
+come back clean, or :func:`run_scenario` raises
+:class:`PostRecoveryScrubError`.  Their results carry a ``recovery``
+section: drain/rebuild seconds, effective recovery MB/s, degraded-read
+p99, and the foreground-throughput dip while nodes were down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 # NB: repro.harness imports are deferred to call time — the harness pulls in
 # repro.traces.replay, which builds on repro.workload.generator, so a
 # module-level import here would close an import cycle.
-from repro.metrics.latency import LatencyRecorder
+from repro.metrics.latency import LatencyRecorder, merge_windows, window_samples
 from repro.sim import AllOf
 from repro.update import STRATEGIES
 from repro.workload.arrival import (
@@ -44,6 +57,12 @@ from repro.workload.arrival import (
     DiurnalArrivals,
     OnOffArrivals,
     PoissonArrivals,
+)
+from repro.workload.faults import (
+    FaultEvent,
+    FaultInjector,
+    primary_victim,
+    secondary_victim,
 )
 from repro.workload.generator import OpenLoopGenerator, WorkloadSpec
 
@@ -54,6 +73,16 @@ class InconsistentDrainError(RuntimeError):
     Raised by :func:`run_scenario` for *any* method: with per-stripe update
     serialization in place there is no legal way to drain inconsistent, so
     this always indicates a strategy bug, never expected behaviour.
+    """
+
+
+class PostRecoveryScrubError(RuntimeError):
+    """The forced post-recovery scrub of a failure scenario was not clean.
+
+    After every failure is recovered/restored and logs are drained, a
+    forced scrub of every stripe the workload could have touched must find
+    parity exactly re-encodable from data — anything else means a failure
+    path (crash tearing, rebuild, repair, restore) leaked bad state.
     """
 
 
@@ -71,6 +100,13 @@ class Scenario:
     # Custom per-tenant record stream ``(cfg, rng) -> records``; None uses
     # the config's trace family (the harness default).
     make_records: Optional[Callable] = None
+    # Fault schedule fired alongside the workload (empty = no failures),
+    # and whether an MDS watcher (heartbeat detection + rebuild + restore)
+    # runs to heal crash-mode failures.  The heartbeat interval also paces
+    # the MDS detection timeout and the watcher's poll.
+    faults: Tuple[FaultEvent, ...] = ()
+    recovery: bool = False
+    heartbeat_interval: float = 0.002
 
 
 SCENARIOS: Dict[str, Scenario] = {}
@@ -158,6 +194,47 @@ register_scenario(Scenario(
 ))
 
 
+# Failure scenarios.  Fault times are early enough to land inside even the
+# 2-client x 40-request smoke runs (~10ms of arrivals at 4k req/s) while the
+# mixed workload is genuinely in flight.
+register_scenario(Scenario(
+    name="degraded_read",
+    description="transient OSD outage: degraded reads + write fencing, "
+                "restore with store intact",
+    make_arrivals=lambda: PoissonArrivals(rate=4000.0),
+    iodepth=8,
+    read_fraction=0.4,
+    faults=(
+        FaultEvent(at=0.004, action="fail", victim=primary_victim, mode="stop"),
+        FaultEvent(at=0.016, action="restore", victim=primary_victim),
+    ),
+))
+register_scenario(Scenario(
+    name="rebuild_under_load",
+    description="crash one OSD mid-workload; heartbeat detection, rebuild "
+                "and restore run under the foreground updates",
+    make_arrivals=lambda: PoissonArrivals(rate=4000.0),
+    iodepth=8,
+    read_fraction=0.2,
+    faults=(
+        FaultEvent(at=0.004, action="fail", victim=primary_victim, mode="crash"),
+    ),
+    recovery=True,
+))
+register_scenario(Scenario(
+    name="double_fault",
+    description="a second OSD crashes while the first rebuild is under "
+                "way (m=2): sequential recovery of both",
+    make_arrivals=lambda: PoissonArrivals(rate=4000.0),
+    iodepth=8,
+    faults=(
+        FaultEvent(at=0.004, action="fail", victim=primary_victim, mode="crash"),
+        FaultEvent(at=0.012, action="fail", victim=secondary_victim, mode="crash"),
+    ),
+    recovery=True,
+))
+
+
 @dataclass
 class ScenarioResult:
     """Everything one scenario run reports."""
@@ -181,6 +258,11 @@ class ScenarioResult:
     lock_contended: int
     lock_wait_mean: float    # seconds over all acquisitions (0 if none)
     lock_wait_p99: float
+    # Failure scenarios only (None otherwise): the recovery section —
+    # drain/rebuild/repair seconds, effective recovery MB/s, degraded-read
+    # p99, foreground-throughput dip during downtime, retry/fence counts
+    # and the post-recovery scrub size.  Flat floats/ints, JSON-ready.
+    recovery: Optional[Dict[str, float]] = None
 
     @property
     def consistent(self) -> bool:
@@ -192,7 +274,7 @@ class ScenarioResult:
         return True
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "method": self.method,
             "seed": self.seed,
@@ -212,9 +294,12 @@ class ScenarioResult:
             "lock_wait_mean_us": self.lock_wait_mean * 1e6,
             "lock_wait_p99_us": self.lock_wait_p99 * 1e6,
         }
+        if self.recovery is not None:
+            out["recovery"] = dict(self.recovery)
+        return out
 
     def render(self) -> str:
-        return (
+        text = (
             f"scenario={self.name} method={self.method} "
             f"clients={self.n_clients} "
             f"updates={self.updates} reads={self.reads}\n"
@@ -231,6 +316,25 @@ class ScenarioResult:
             f"p99 {self.lock_wait_p99 * 1e6:,.1f} us\n"
             f"  consistent : {self.consistent}"
         )
+        if self.recovery is not None:
+            r = self.recovery
+            text += (
+                f"\n  failures   : {r['failures']:.0f} "
+                f"({r['recoveries']:.0f} rebuilt), "
+                f"downtime {r['downtime_s'] * 1e3:,.1f} ms\n"
+                f"  recovery   : drain {r['drain_s'] * 1e3:,.2f} ms + "
+                f"rebuild {r['rebuild_s'] * 1e3:,.2f} ms "
+                f"-> {r['recovery_mbps']:,.1f} MB/s "
+                f"({r['parity_repaired']:.0f} stripes repaired)\n"
+                f"  degraded   : {r['degraded_reads']:.0f} reads "
+                f"(p99 {r['degraded_read_p99_us']:,.1f} us) | "
+                f"{r['update_retries']:.0f} update retries, "
+                f"{r['fenced_updates']:.0f} fenced\n"
+                f"  fg dip     : {r['foreground_dip']:.2f}x in-window "
+                f"update rate | post-scrub clean over "
+                f"{r['scrub_stripes']:.0f} stripes"
+            )
+        return text
 
 
 def scenario_config(
@@ -311,19 +415,87 @@ def run_scenario(
 
     cluster.start()
 
+    injector: Optional[FaultInjector] = None
+    watcher = None
+    watcher_stop = None
+    if scenario.faults:
+        injector = FaultInjector(cluster, inodes, scenario.faults)
+        if scenario.recovery:
+            from repro.recovery import watch_and_recover
+
+            # Millisecond-scale failure detection: heartbeats + timeout
+            # paced to the scenario, not the 3s production default.
+            cluster.mds.heartbeat_timeout = 4 * scenario.heartbeat_interval
+            for osd in cluster.osds:
+                osd.start_heartbeat(scenario.heartbeat_interval)
+            watcher_stop = sim.event(name="watcher-stop")
+            watcher = sim.process(
+                watch_and_recover(
+                    cluster,
+                    check_interval=scenario.heartbeat_interval,
+                    stop=watcher_stop,
+                    repair=True,
+                ),
+                name="mds-watcher",
+            )
+
     def main():
+        from repro.recovery import scrub
+
+        inj_proc = (
+            sim.process(injector.run(), name="fault-injector") if injector else None
+        )
         procs = [
             sim.process(g.run(), name=f"gen{i}") for i, g in enumerate(generators)
         ]
         yield AllOf(sim, procs)
         horizon = sim.now
+        recoveries = []
+        scrub_report = None
+        if injector:
+            yield inj_proc
+            # Every failure must be healed (recovered or restored) before
+            # the drain barrier — a leftover down OSD would wedge it.
+            waited = 0.0
+            while cluster.down_osds:
+                if waited >= 60.0:
+                    raise RuntimeError(
+                        f"scenario {name!r}: OSDs still down after "
+                        f"{waited:.0f}s: {sorted(cluster.down_osds)}"
+                    )
+                yield sim.timeout(1e-3)
+                waited += 1e-3
+            if watcher is not None:
+                watcher_stop.succeed()
+                recoveries = yield watcher
         yield from drain_all(cluster)
-        return horizon
+        if injector:
+            # The post-recovery gate: a forced scrub of every stripe the
+            # workload could have touched, through the real (costed) read
+            # path, must be clean.
+            targets = [
+                (inode, s) for inode in inodes for s in range(cfg.stripes_per_file)
+            ]
+            scrub_report = yield from scrub(cluster, targets, force=True)
+        return horizon, recoveries, scrub_report
 
-    horizon = drive_to_completion(
+    horizon, recoveries, scrub_report = drive_to_completion(
         sim, sim.process(main(), name=f"scenario:{name}"), what=f"scenario {name!r}"
     )
     cluster.stop()
+
+    recovery_section = None
+    if injector:
+        if scrub_report is None or not scrub_report.clean or scrub_report.skipped:
+            raise PostRecoveryScrubError(
+                f"scenario {name!r} method {method!r}: post-recovery scrub "
+                f"found {len(scrub_report.mismatches)} bad / "
+                f"{len(scrub_report.skipped)} unscrubbable stripe(s): "
+                f"{scrub_report.mismatches[:8] + scrub_report.skipped[:8]}"
+            )
+        recovery_section = _recovery_metrics(
+            cluster, injector, recoveries, scrub_report, horizon
+        )
 
     # The hard gate: with per-stripe serialization no method may drain
     # inconsistent — a bad stripe is a strategy bug, not a workload effect.
@@ -373,7 +545,73 @@ def run_scenario(
         lock_contended=contended,
         lock_wait_mean=wait_mean,
         lock_wait_p99=wait_p99,
+        recovery=recovery_section,
     )
+
+
+def _recovery_metrics(cluster, injector, recoveries, scrub_report, horizon) -> dict:
+    """The ``recovery`` section of a failure scenario's result."""
+    windows = merge_windows(
+        [(t0, t1) for _name, t0, t1 in cluster.down_windows if t1 is not None]
+    )
+    downtime = sum(b - a for a, b in windows)
+
+    # Honest degraded p99: only reads that actually decoded through the
+    # degraded path (clients record them separately), not every read that
+    # happened to complete while a node was down.
+    rec = LatencyRecorder("degraded")
+    for c in cluster.clients:
+        rec.latencies.extend(c.degraded_read_latency.latencies)
+    degraded_p99 = rec.percentile(99.0)
+    # All-reads-during-outage p99: the service-level view of the outage
+    # (cache-hit and healthy-extent reads included).
+    outage_rec = LatencyRecorder("outage-reads")
+    for c in cluster.clients:
+        outage_rec.latencies.extend(window_samples(c.read_latency, windows))
+    outage_read_p99 = outage_rec.percentile(99.0)
+
+    # Foreground dip: update completion rate inside the downtime windows
+    # (clipped to the workload horizon) vs outside them.
+    clipped = merge_windows([(a, min(b, horizon)) for a, b in windows if a < horizon])
+    in_window_s = sum(b - a for a, b in clipped)
+    in_count = out_count = 0
+    for c in cluster.clients:
+        for t in c.update_latency.completion_times:
+            if t <= horizon and any(a <= t <= b for a, b in clipped):
+                in_count += 1
+            elif t <= horizon:
+                out_count += 1
+    out_s = max(horizon - in_window_s, 0.0)
+    in_rate = in_count / in_window_s if in_window_s > 0 else 0.0
+    out_rate = out_count / out_s if out_s > 0 else 0.0
+    dip = in_rate / out_rate if out_rate > 0 else 0.0
+
+    drain_s = sum(r.drain_seconds for r in recoveries)
+    rebuild_s = sum(r.rebuild_seconds for r in recoveries)
+    recovered = sum(r.bytes_recovered for r in recoveries)
+    return {
+        "failures": float(sum(1 for _t, a, _n in injector.timeline if a == "fail")),
+        "recoveries": float(len(recoveries)),
+        "downtime_s": downtime,
+        "drain_s": drain_s,
+        "rebuild_s": rebuild_s,
+        "repair_s": sum(r.repair_seconds for r in recoveries),
+        "recovered_mb": recovered / (1 << 20),
+        "recovery_mbps": (
+            recovered / (drain_s + rebuild_s) / (1 << 20)
+            if drain_s + rebuild_s > 0
+            else 0.0
+        ),
+        "parity_repaired": float(sum(r.parity_repaired for r in recoveries)),
+        "degraded_reads": float(sum(c.degraded_reads for c in cluster.clients)),
+        "degraded_read_p99_us": degraded_p99 * 1e6,
+        "outage_read_p99_us": outage_read_p99 * 1e6,
+        "update_retries": float(sum(c.update_retries for c in cluster.clients)),
+        "fenced_updates": float(sum(c.fenced_updates for c in cluster.clients)),
+        "foreground_dip": dip,
+        "scrub_stripes": float(scrub_report.stripes_checked),
+        "scrub_clean": True,  # gate: run_scenario raised otherwise
+    }
 
 
 # Canonical method order for per-method sweeps: the in-place family in the
@@ -434,8 +672,14 @@ def run_method_sweep(
 def results_to_json(
     results: Sequence[ScenarioResult],
     method_rows: Sequence[ScenarioResult] = (),
+    recovery_rows: Sequence[ScenarioResult] = (),
 ) -> dict:
-    """The ``BENCH_scenarios.json`` baseline payload."""
+    """The ``BENCH_scenarios.json`` baseline payload.
+
+    ``recovery_rows`` is a per-method sweep of a failure scenario — the
+    Fig. 8b-style table (recovery MB/s, degraded p99, foreground dip per
+    method) lands under ``"recovery"``.
+    """
     payload = {
         "bench": "scenarios",
         "scenarios": {r.name: r.to_dict() for r in results},
@@ -443,5 +687,9 @@ def results_to_json(
     if method_rows:
         payload["methods"] = {
             r.method: r.to_dict() for r in method_rows
+        }
+    if recovery_rows:
+        payload["recovery"] = {
+            r.method: r.to_dict() for r in recovery_rows
         }
     return payload

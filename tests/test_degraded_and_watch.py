@@ -127,19 +127,38 @@ def test_watch_and_recover_detects_and_rebuilds():
     cluster.start()
     # Heartbeats from every OSD; then one dies.
     for osd in cluster.osds:
-        sim.process(osd.heartbeat_loop(interval=0.2))
+        osd.start_heartbeat(interval=0.2)
     victim = cluster.placement(600, 0)[0]
-    watcher = sim.process(watch_and_recover(cluster, check_interval=0.3))
+    stop = sim.event()
+    watcher = sim.process(watch_and_recover(cluster, check_interval=0.3, stop=stop))
     sim.call_at(1.0, lambda: fail_osd(cluster, victim))
-    # Give failed-heartbeat detection time (timeout is 3 s).
-    while not watcher.fired and sim.peek() != float("inf") and sim.now < 30.0:
+    # Step to the failure, then give heartbeat detection (timeout 3 s) and
+    # the rebuild time to run their course.
+    while victim not in cluster.down_osds and sim.peek() != float("inf"):
+        sim.step()
+    while victim in cluster.down_osds and sim.peek() != float("inf") and sim.now < 30.0:
+        sim.step()
+    assert victim not in cluster.down_osds
+    stop.succeed()
+    while not watcher.fired and sim.peek() != float("inf") and sim.now < 40.0:
         sim.step()
     assert watcher.fired
-    result = watcher.value
+    results = watcher.value
+    assert len(results) == 1
+    assert results[0].failed_osd == victim
+    assert results[0].correct
+    assert results[0].blocks_recovered > 0
+    # Restore happened: the victim serves again and normal (non-degraded)
+    # reads find the rebuilt bytes through unchanged placement.
+    assert cluster.osd_by_name(victim).running
+    client = cluster.add_client("c9")
+
+    def rd():
+        return (yield from client.read(600, 100, 64))
+
+    got = run_to(sim, sim.process(rd()))
     cluster.stop()
-    assert result.failed_osd == victim
-    assert result.correct
-    assert result.blocks_recovered > 0
+    assert np.array_equal(got, data[100:164])
 
 
 def test_recover_node_driver_equivalent_to_proc():

@@ -45,10 +45,13 @@ def test_recovery_rebuilds_exact_bytes():
     assert res.blocks_recovered == len(before)
     assert res.bytes_recovered == len(before) * BLOCK
     assert res.bandwidth_mbps > 0
-    # The rebuilt copies live on the ring successor now.
+    # Restore moved the rebuilt blocks back to the (replacement) victim;
+    # the rebuilder keeps no stale staging copies that could poison its
+    # own truth capture if it failed later.
     rebuilder = cluster.osd_by_name(cluster.replica_of(victim))
     for key, expect in before.items():
-        assert np.array_equal(rebuilder.store.peek(key), expect)
+        assert np.array_equal(cluster.osd_by_name(victim).store.peek(key), expect)
+        assert rebuilder.store.peek(key) is None
 
 
 def test_recovery_handles_parity_blocks_too():
