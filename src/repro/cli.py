@@ -71,14 +71,21 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--method", default="tsue",
                     choices=["fo", "fl", "pl", "plr", "parix", "cord", "tsue"])
     sc.add_argument("--device", default="ssd", choices=["ssd", "hdd"])
-    sc.add_argument("--clients", type=int, default=4)
-    sc.add_argument("--requests", type=int, default=200,
-                    help="requests per client")
+    sc.add_argument("--clients", type=int, default=None,
+                    help="override the scenario's native client count "
+                         "(default: scenario-defined, 4 for smoke rows)")
+    sc.add_argument("--requests", type=int, default=None,
+                    help="override requests per client (default: scenario-"
+                         "defined, 200 for smoke rows)")
     sc.add_argument("--seed", type=int, default=7)
 
     be = sub.add_parser("bench", help="run every scenario; smoke perf baseline")
-    be.add_argument("--clients", type=int, default=4)
-    be.add_argument("--requests", type=int, default=200)
+    be.add_argument("--clients", type=int, default=None,
+                    help="override every scenario's client count (default: "
+                         "native sizes — 4 for smoke rows, 32 for scale_up)")
+    be.add_argument("--requests", type=int, default=None,
+                    help="override requests per client (default: native "
+                         "sizes — 200 for smoke rows, 2000 for scale_up)")
     be.add_argument("--seed", type=int, default=7)
     be.add_argument("--scenarios", nargs="+", default=None, metavar="NAME",
                     help="limit the registry run to these scenarios "
@@ -94,11 +101,57 @@ def build_parser() -> argparse.ArgumentParser:
                     help="failure scenario for the per-method recovery "
                          "sweep (default: rebuild_under_load; \"none\" "
                          "skips it)")
+    be.add_argument("--scale-up-scenario", default="scale_up",
+                    help="scenario for the per-method 10x-scale sweep "
+                         "(default: scale_up; \"none\" skips it)")
     be.add_argument("--json", nargs="?", const="BENCH_scenarios.json",
                     default=None, metavar="PATH",
                     help="also write a JSON baseline (default PATH: "
                          "BENCH_scenarios.json)")
+    be.add_argument("--profile", nargs="?",
+                    const="benchmarks/results/bench_profile.txt",
+                    default=None, metavar="PATH",
+                    help="run under cProfile and write a cumulative-time "
+                         "report to PATH")
+    be.add_argument("--check-baseline", nargs="?",
+                    const="BENCH_scenarios.json", default=None,
+                    metavar="PATH",
+                    help="after the run, diff the simulated-output rows "
+                         "(scenarios/methods/recovery/scale_up — the "
+                         "machine-dependent perf section is ignored) "
+                         "against an existing baseline; exit 3 on drift")
     return ap
+
+
+def _baseline_drift(baseline: dict, payload: dict) -> list:
+    """Rows that changed vs an existing baseline (the determinism gate).
+
+    Compares the *simulated-output* sections (``scenarios`` / ``methods`` /
+    ``recovery`` / ``scale_up``) cell by cell for every row present in
+    both the baseline and this run; the machine-dependent ``perf`` section
+    is ignored, and rows only one side has (e.g. a freshly added scenario)
+    are additions, not drift.  ``baseline`` is the decoded JSON — loaded
+    by the caller *before* any ``--json`` write, so checking against the
+    same path that is being regenerated still compares old vs new.
+    """
+    drift = []
+    for section in ("scenarios", "methods", "recovery", "scale_up"):
+        old = baseline.get(section, {})
+        new = payload.get(section, {})
+        # A baseline row this run did not produce is drift too — a silent
+        # loss of coverage must not read as "clean".  (Narrowed runs, e.g.
+        # --scenarios steady, will legitimately trip this; check against
+        # the full registry run the baseline was made from.)
+        for row in sorted(set(old) - set(new)):
+            drift.append(f"{section}.{row}: present in baseline, missing from this run")
+        for row in sorted(set(old) & set(new)):
+            a, b = old[row], new[row]
+            for key in sorted(set(a) | set(b)):
+                if a.get(key) != b.get(key):
+                    drift.append(
+                        f"{section}.{row}.{key}: {a.get(key)!r} -> {b.get(key)!r}"
+                    )
+    return drift
 
 
 def main(argv=None) -> int:
@@ -188,6 +241,10 @@ def main(argv=None) -> int:
             args.recovery_scenario not in SCENARIOS
         ):
             unknown.append(args.recovery_scenario)
+        if args.scale_up_scenario != "none" and (
+            args.scale_up_scenario not in SCENARIOS
+        ):
+            unknown.append(args.scale_up_scenario)
         if unknown:
             print(f"unknown scenario(s) {unknown}; known: {known}",
                   file=sys.stderr)
@@ -198,6 +255,26 @@ def main(argv=None) -> int:
                   f"{', '.join(METHODS)}", file=sys.stderr)
             return 2
 
+        # Load the baseline BEFORE simulating (fail fast on a bad path) and
+        # before any --json write — `bench --json --check-baseline` with
+        # both at the default path must diff old vs new, not new vs itself.
+        baseline = None
+        if args.check_baseline:
+            try:
+                with open(args.check_baseline) as fh:
+                    baseline = json.load(fh)
+            except (OSError, ValueError) as exc:
+                print(f"cannot load baseline {args.check_baseline}: {exc}",
+                      file=sys.stderr)
+                return 2
+
+        profiler = None
+        if args.profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+
         scale = dict(
             seed=args.seed,
             n_clients=args.clients,
@@ -207,6 +284,7 @@ def main(argv=None) -> int:
             results = run_all_scenarios(names=args.scenarios, **scale)
             method_rows = []
             recovery_rows = []
+            scale_up_rows = []
             if args.methods is None or args.methods:
                 # The registry run may already hold this scenario's default-
                 # method cell; reuse it rather than simulating it twice.
@@ -223,9 +301,30 @@ def main(argv=None) -> int:
                         reuse=results,
                         **scale,
                     )
+                if args.scale_up_scenario != "none":
+                    scale_up_rows = run_method_sweep(
+                        scenario=args.scale_up_scenario,
+                        methods=args.methods,
+                        reuse=results,
+                        **scale,
+                    )
         except (InconsistentDrainError, PostRecoveryScrubError) as exc:
             print(f"FAIL: {exc}", file=sys.stderr)
             return 1
+
+        if profiler is not None:
+            import io
+            import pstats
+
+            profiler.disable()
+            buf = io.StringIO()
+            stats = pstats.Stats(profiler, stream=buf)
+            stats.sort_stats("cumulative").print_stats(60)
+            stats.sort_stats("tottime").print_stats(60)
+            with open(args.profile, "w") as fh:
+                fh.write(buf.getvalue())
+            print(f"wrote {args.profile}")
+
         for res in results:
             print(res.render())
         if method_rows:
@@ -236,12 +335,26 @@ def main(argv=None) -> int:
             print(f"--- per-method recovery rows ({args.recovery_scenario}) ---")
             for res in recovery_rows:
                 print(res.render())
+        if scale_up_rows:
+            print(f"--- per-method 10x rows ({args.scale_up_scenario}) ---")
+            for res in scale_up_rows:
+                print(res.render())
+        payload = results_to_json(results, method_rows, recovery_rows,
+                                  scale_up_rows)
         if args.json:
             with open(args.json, "w") as fh:
-                json.dump(results_to_json(results, method_rows, recovery_rows),
-                          fh, indent=2, sort_keys=True)
+                json.dump(payload, fh, indent=2, sort_keys=True)
                 fh.write("\n")
             print(f"wrote {args.json}")
+        if baseline is not None:
+            drift = _baseline_drift(baseline, payload)
+            if drift:
+                print("BASELINE DRIFT (simulated outputs changed):",
+                      file=sys.stderr)
+                for line in drift[:40]:
+                    print(f"  {line}", file=sys.stderr)
+                return 3
+            print(f"baseline check ok against {args.check_baseline}")
         return 0
 
     if args.cmd == "fig5":

@@ -19,7 +19,7 @@ from typing import Dict, Optional
 
 from repro.metrics.counters import OpCounters, WearModel
 from repro.devices.profiles import DeviceProfile
-from repro.sim.core import Simulator
+from repro.sim.core import At, Simulator
 from repro.sim.resources import Resource
 
 
@@ -56,6 +56,14 @@ class StorageDevice:
         # Per-zone head position for auto-classification.
         self._zone_head: Dict[str, int] = {}
         self.trace_hook = None  # optional callable(IoRequest)
+        # Projected-completion mode (fault-free runs): per-channel
+        # busy-until clocks replace the event-based channel Resource.
+        # FIFO multi-server algebra over these floats reproduces the
+        # event path's grant/complete instants exactly; keep it off when
+        # handlers can be interrupted mid-I/O (crash scenarios), where the
+        # event path releases a channel early.
+        self.fast_plane = False
+        self._busy = [0.0] * profile.channels
 
     # ------------------------------------------------------------------
     # service-time math (pure, unit-testable)
@@ -96,8 +104,20 @@ class StorageDevice:
         sequential = self._resolve_pattern(pattern, zone, offset, nbytes)
         dt = self.service_time("read", nbytes, sequential)
         self.counters.record_read(nbytes, sequential)
-        self._trace("read", zone, offset, nbytes, sequential, False, dt)
-        yield from self.channels.use(dt)
+        if self.trace_hook is not None:
+            self._trace("read", zone, offset, nbytes, sequential, False, dt)
+        if self.fast_plane:
+            yield At(self._project(dt))
+            return
+        # Uncontended channel fast path: one float sleep, no request event.
+        ch = self.channels
+        if ch.try_acquire():
+            try:
+                yield dt
+            finally:
+                ch.release()
+        else:
+            yield from ch.use(dt)
 
     def write(
         self,
@@ -113,8 +133,40 @@ class StorageDevice:
         self.counters.record_write(nbytes, sequential, overwrite)
         if self.profile.is_flash:
             self.wear.record_write(nbytes, sequential, overwrite)
-        self._trace("write", zone, offset, nbytes, sequential, overwrite, dt)
-        yield from self.channels.use(dt)
+        if self.trace_hook is not None:
+            self._trace("write", zone, offset, nbytes, sequential, overwrite, dt)
+        if self.fast_plane:
+            yield At(self._project(dt))
+            return
+        ch = self.channels
+        if ch.try_acquire():
+            try:
+                yield dt
+            finally:
+                ch.release()
+        else:
+            yield from ch.use(dt)
+
+    def _project(self, dt: float) -> float:
+        """FIFO multi-channel service projection (fast plane).
+
+        The earliest-free channel serves this command: start at ``now`` if
+        it is already free, else exactly at its projected release — the
+        same instants the event-based FIFO queue grants.
+        """
+        busy = self._busy
+        now = self.sim.now
+        b = busy[0]
+        idx = 0
+        for i in range(1, len(busy)):
+            v = busy[i]
+            if v < b:
+                b = v
+                idx = i
+        start = now if b < now else b
+        done = start + dt
+        busy[idx] = done
+        return done
 
     # ------------------------------------------------------------------
     def _resolve_pattern(

@@ -30,6 +30,10 @@ def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     if a.shape[1] != b.shape[0]:
         raise ValueError(f"shape mismatch {a.shape} @ {b.shape}")
     out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    # One reusable gather buffer per call: np.take(..., out=) instead of
+    # fancy indexing removes the temporary allocation per (row, k) term —
+    # this runs once per stripe in every consistency gate and scrub.
+    tmp = np.empty(b.shape[1], dtype=np.uint8)
     for i in range(a.shape[0]):
         acc = out[i]
         row = a[i]
@@ -37,7 +41,8 @@ def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
             coeff = row[k]
             if coeff == 0:
                 continue
-            np.bitwise_xor(acc, _MUL_TABLE[coeff][b[k]], out=acc)
+            np.take(_MUL_TABLE[coeff], b[k], out=tmp)
+            np.bitwise_xor(acc, tmp, out=acc)
     return out
 
 

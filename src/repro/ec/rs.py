@@ -63,7 +63,9 @@ class RSCodec:
         """Compute the m parity blocks for k equal-length data blocks."""
         stacked = self._stack(data_blocks, self.k)
         parity = gf_matmul(self.parity_matrix, stacked)
-        return [parity[i].copy() for i in range(self.m)]
+        # Rows of the freshly computed product — views, not per-row copies.
+        # The rows are disjoint and the 2-D base is exclusively theirs.
+        return list(parity)
 
     def coefficient(self, parity_index: int, data_index: int) -> int:
         """∂_{p,j}: the coefficient tying data block j to parity block p."""
@@ -86,7 +88,8 @@ class RSCodec:
         inv = gf_matinv(sub)
         stacked = self._stack([shards[i] for i in idx], self.k, block_size)
         data = gf_matmul(inv, stacked)
-        return [data[i].copy() for i in range(self.k)]
+        # Rows of a fresh product; see encode().
+        return list(data)
 
     def reconstruct(
         self, shards: Mapping[int, np.ndarray], missing: Iterable[int]
@@ -172,6 +175,22 @@ def merge_delta(older: np.ndarray, newer: np.ndarray) -> np.ndarray:
     return np.bitwise_xor(older, newer)
 
 
+# Reusable scratch for the table-gather temporary inside combine_deltas.
+# The simulation is single-threaded and the scratch never escapes the
+# call, so one process-wide buffer is safe; it removes the one numpy
+# allocation per folded delta.  A single monotonically-grown buffer (views
+# serve smaller sizes) keeps the footprint bounded by the largest delta
+# ever combined, instead of one retained buffer per distinct size.
+_SCRATCH: List[np.ndarray] = [np.empty(0, dtype=np.uint8)]
+
+
+def _scratch(n: int) -> np.ndarray:
+    buf = _SCRATCH[0]
+    if buf.size < n:
+        buf = _SCRATCH[0] = np.empty(n, dtype=np.uint8)
+    return buf[:n]
+
+
 def combine_deltas(
     parity_matrix: np.ndarray, parity_index: int, deltas: Mapping[int, np.ndarray]
 ) -> np.ndarray:
@@ -182,9 +201,12 @@ def combine_deltas(
     size = {np.asarray(d).size for _, d in items}
     if len(size) != 1:
         raise ValueError("combine_deltas requires equal-length deltas")
-    out = np.zeros(size.pop(), dtype=np.uint8)
+    n = size.pop()
+    out = np.zeros(n, dtype=np.uint8)
+    tmp = _scratch(n)
     for data_index, delta in items:
         coeff = int(parity_matrix[parity_index, data_index])
         if coeff:
-            out ^= _MUL_TABLE[coeff][np.asarray(delta, dtype=np.uint8)]
+            np.take(_MUL_TABLE[coeff], np.asarray(delta, dtype=np.uint8), out=tmp)
+            np.bitwise_xor(out, tmp, out=out)
     return out

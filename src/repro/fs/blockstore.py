@@ -81,7 +81,15 @@ class BlockStore:
         self.blocks[key] = data.copy()
 
     def read_range(self, key: Hashable, offset: int, length: int, pattern: Optional[str] = "rand"):
-        """Read ``[offset, offset+length)`` of a block; returns the bytes."""
+        """Read ``[offset, offset+length)`` of a block; returns the bytes.
+
+        Zero-copy contract: the return value is a **read-only view** into
+        the live block, valid until the next write to this block (in
+        particular: until the next ``yield`` — any other process may then
+        mutate it).  Compute derived values (deltas) synchronously, or
+        ``.copy()`` to hold a snapshot across simulated time.  Mutating the
+        view raises, so misuse fails loudly instead of corrupting state.
+        """
         self._check_range(offset, length)
         blk = self._materialize(key)
         yield from self.device.read(
@@ -90,7 +98,9 @@ class BlockStore:
             offset=self.device_offset(key) + offset,
             pattern=pattern,
         )
-        return blk[offset : offset + length].copy()
+        view = blk[offset : offset + length]
+        view.flags.writeable = False
+        return view
 
     def write_range(
         self,
@@ -142,8 +152,17 @@ class BlockStore:
     # cost-free access (assertions / instant load)
     # ------------------------------------------------------------------
     def peek(self, key: Hashable) -> Optional[np.ndarray]:
+        """The block's current bytes as a read-only view (no copy).
+
+        Valid until the next write to the block; assertion/scrub callers
+        compare immediately.  ``.copy()`` to keep a snapshot.
+        """
         blk = self.blocks.get(key)
-        return None if blk is None else blk.copy()
+        if blk is None:
+            return None
+        view = blk[:]
+        view.flags.writeable = False
+        return view
 
     def install(self, key: Hashable, data: np.ndarray) -> None:
         """Place a block without simulating I/O (workload pre-load)."""

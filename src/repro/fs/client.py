@@ -167,7 +167,7 @@ class Client(RpcHost):
         )
         try:
             if self.cluster.config.client_overhead_s > 0:
-                yield self.sim.timeout(self.cluster.config.client_overhead_s)
+                yield float(self.cluster.config.client_overhead_s)
             extents = self.cluster.stripe_map.extents(inode, offset, data.size)
             stripes = {ext.addr.stripe for ext in extents}
             state = {"fenced": False}  # across every retry attempt
@@ -175,6 +175,21 @@ class Client(RpcHost):
             def attempt():
                 if (yield from self._fence_wait(inode, stripes)):
                     state["fenced"] = True
+                if len(extents) == 1:
+                    # Single-extent fast path (the overwhelmingly common
+                    # case for small updates): run the RPC inline instead
+                    # of spawning a child process plus an AllOf barrier.
+                    ext = extents[0]
+                    osd = self.cluster.osd_of_block(
+                        inode, ext.addr.stripe, ext.addr.block_index
+                    )
+                    yield from self.rpc(
+                        osd,
+                        "update",
+                        {"key": ext.addr.key(), "offset": ext.offset, "data": data},
+                        nbytes=ext.length,
+                    )
+                    return
                 acks = []
                 pos = 0
                 for ext in extents:
@@ -227,11 +242,22 @@ class Client(RpcHost):
         """
         start = self.sim.now
         if self.cluster.config.client_overhead_s > 0:
-            yield self.sim.timeout(self.cluster.config.client_overhead_s)
+            yield float(self.cluster.config.client_overhead_s)
         extents = self.cluster.stripe_map.extents(inode, offset, length)
 
         def attempt():
             down_now = set(self.cluster.down_osds) | set(down or ())
+            if len(extents) == 1 and not down_now:
+                # Single-extent healthy-path read: no child process, no
+                # AllOf barrier — just the one RPC.
+                ext = extents[0]
+                osd = self.cluster.osd_of_block(
+                    inode, ext.addr.stripe, ext.addr.block_index
+                )
+                piece = yield from self._read_one(
+                    osd, ext.addr.key(), ext.offset, ext.length
+                )
+                return [piece], 0
             procs = []
             n_degraded = 0
             for ext in extents:

@@ -23,12 +23,11 @@ Failure semantics (the failure-injection scenarios build on these):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Optional, Tuple
 
 from repro.net.fabric import Fabric
 from repro.sim.core import Simulator
-from repro.sim.events import Event, Interrupt
+from repro.sim.events import AnyOf, Event, Interrupt
 from repro.sim.resources import Store
 
 # Fixed protocol overhead charged per message in addition to payload bytes.
@@ -51,26 +50,44 @@ class HostDownError(RuntimeError):
         self.host = host
 
 
-@dataclass
 class Message:
-    """One RPC request in flight."""
+    """One RPC request in flight.
 
-    kind: str
-    src: str
-    dst: str
-    payload: dict
-    nbytes: int
-    reply_event: Optional[Event] = None
-    sent_at: float = 0.0
+    A plain slotted class (not a dataclass): one is allocated per RPC, so
+    construction cost is part of the per-op fast path.
+    """
+
+    __slots__ = ("kind", "src", "dst", "payload", "nbytes", "reply_event", "sent_at")
+
+    def __init__(
+        self,
+        kind: str,
+        src: str,
+        dst: str,
+        payload: dict,
+        nbytes: int,
+        reply_event: Optional[Event] = None,
+        sent_at: float = 0.0,
+    ):
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.nbytes = nbytes
+        self.reply_event = reply_event
+        self.sent_at = sent_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Message {self.kind} {self.src}->{self.dst} {self.nbytes}B>"
 
 
 class RpcHost:
     """Base class for every networked node in the cluster."""
 
-    # Transport-level connect retry to a stopped (not crashed) host, and the
-    # total virtual-time budget before giving up: converts a never-restarted
-    # host from a silent hang into a diagnosable error.
-    CONNECT_RETRY_S = 1e-3
+    # Total virtual-time budget a caller will wait for a stopped (not
+    # crashed) host to restart: converts a never-restarted host from a
+    # silent hang into a diagnosable error.  Waiters sleep on the host's
+    # state-change event, so the budget costs one timer, not a poll loop.
     CONNECT_BUDGET_S = 60.0
 
     def __init__(self, sim: Simulator, fabric: Fabric, name: str):
@@ -87,6 +104,11 @@ class RpcHost:
         # In-flight handler processes, so a crash can abort them and fail
         # their callers instead of leaving replies pending forever.
         self._inflight: Dict[Any, "Message"] = {}
+        self._reply_kinds: Dict[str, str] = {}
+        # Fired (and replaced) on every liveness transition — start() and
+        # crash() — so connect-waiters blocked on a stopped host wake
+        # exactly when its state changes instead of busy-polling.
+        self._state_change: Optional[Event] = None
 
     # ------------------------------------------------------------------
     # wiring
@@ -111,6 +133,20 @@ class RpcHost:
             self._dispatcher = self.sim.process(
                 self._dispatch_loop(), name=f"{self.name}.dispatch"
             )
+            self._notify_state_change()
+
+    def _notify_state_change(self) -> None:
+        ev = self._state_change
+        if ev is not None:
+            self._state_change = None
+            ev.succeed()
+
+    def _state_change_event(self) -> Event:
+        """The event the next liveness transition (start/crash) will fire."""
+        ev = self._state_change
+        if ev is None:
+            ev = self._state_change = Event(self.sim, name="state-change")
+        return ev
 
     def stop(self) -> None:
         """Graceful stop: no new dispatches; in-flight handlers complete.
@@ -132,6 +168,7 @@ class RpcHost:
         """
         self.running = False
         self.crashed = True
+        self._notify_state_change()
         if self._dispatcher is not None and self._dispatcher.is_alive:
             self._dispatcher.interrupt("crash")
         self.mailbox.cancel_getters()
@@ -149,11 +186,39 @@ class RpcHost:
     # serving
     # ------------------------------------------------------------------
     def _dispatch_loop(self):
+        sim = self.sim
+        mailbox = self.mailbox
         while self.running:
-            msg = yield self.mailbox.get()
-            proc = self.sim.process(self._handle(msg), name=f"{self.name}.{msg.kind}")
-            self._inflight[proc] = msg
-            proc.add_callback(lambda _ev, p=proc: self._inflight.pop(p, None))
+            msg = yield mailbox.get()
+            self._spawn_handler(sim, msg)
+
+    def _reply_kind(self, kind: str) -> str:
+        """Cached ``<kind>.reply`` counter tags (no f-string per reply)."""
+        tag = self._reply_kinds.get(kind)
+        if tag is None:
+            tag = self._reply_kinds[kind] = kind + ".reply"
+        return tag
+
+    def _spawn_handler(self, sim: Simulator, msg: "Message") -> None:
+        inflight = self._inflight
+        proc = sim.process(self._handle(msg), name=msg.kind)
+        inflight[proc] = msg
+        proc.add_callback(lambda _ev, p=proc: inflight.pop(p, None))
+
+    def _deliver(self, msg: "Message") -> None:
+        """Accept one inbound message.
+
+        Fast path: a running host's dispatcher is by construction idle in
+        ``mailbox.get()`` whenever a message arrives (it spawns handlers
+        synchronously and immediately re-waits), so delivery can spawn the
+        handler directly and skip the put -> get-event -> dispatcher-resume
+        round trip.  Messages for a stopped host queue in the mailbox and
+        are served by the dispatcher the restart boots.
+        """
+        if self.running and not self.crashed:
+            self._spawn_handler(self.sim, msg)
+        else:
+            self.mailbox.put(msg)
 
     def _handle(self, msg: Message):
         handler = self.handlers.get(msg.kind)
@@ -168,7 +233,8 @@ class RpcHost:
             if msg.reply_event is not None:
                 payload, nbytes = result if result is not None else ({}, 0)
                 yield from self.fabric.transfer(
-                    self.name, msg.src, nbytes + MSG_OVERHEAD, kind=f"{msg.kind}.reply"
+                    self.name, msg.src, nbytes + MSG_OVERHEAD,
+                    kind=self._reply_kind(msg.kind),
                 )
                 if not msg.reply_event.triggered:
                     msg.reply_event.succeed(payload)
@@ -205,25 +271,31 @@ class RpcHost:
         """Wait for a stopped host; refuse a crashed one (generator).
 
         Models the transport: connections to a host down for transient
-        maintenance retry until it restarts; a crashed host refuses
-        instantly.  Gives up with :class:`HostDownError` after
-        ``CONNECT_BUDGET_S`` so an unrecovered host surfaces as an error,
-        not a silent simulation hang.
+        maintenance sleep on the host's state-change event and wake exactly
+        at its restart (the historical 1 ms busy-poll loop burned a kernel
+        event per retry per waiter); a crashed host refuses instantly.
+        Gives up with :class:`HostDownError` after ``CONNECT_BUDGET_S`` so
+        an unrecovered host surfaces as an error, not a silent simulation
+        hang.
         """
-        waited = 0.0
+        deadline = self.sim.now + self.CONNECT_BUDGET_S
         while not host.running:
             if host.crashed:
                 raise HostDownError(dst)
-            if waited >= self.CONNECT_BUDGET_S:
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
                 raise HostDownError(dst, "connect budget exhausted")
-            yield self.sim.timeout(self.CONNECT_RETRY_S)
-            waited += self.CONNECT_RETRY_S
+            yield AnyOf(
+                self.sim,
+                (host._state_change_event(), self.sim.timeout(remaining)),
+            )
 
     def rpc(self, dst: str, kind: str, payload: dict, nbytes: int = 0):
         """Request/response call; returns the reply payload (generator)."""
         host = self._route(dst)
         while True:
-            yield from self._connect(dst, host)
+            if not host.running:
+                yield from self._connect(dst, host)
             yield from self.fabric.transfer(
                 self.name, dst, nbytes + MSG_OVERHEAD, kind=kind
             )
@@ -233,8 +305,8 @@ class RpcHost:
                 # Went down while the request was on the wire.
                 raise HostDownError(dst)
             # Stopped mid-transfer: retransmit once it is back.
-        reply = self.sim.event(name=f"reply:{kind}")
-        host.mailbox.put(
+        reply = Event(self.sim, name="reply")
+        host._deliver(
             Message(kind, self.name, dst, payload, nbytes, reply, self.sim.now)
         )
         result = yield reply
@@ -259,17 +331,20 @@ class RpcHost:
         Note the op may be applied twice when a crash eats the reply of an
         applied request; post-recovery parity repair heals that, which is
         why this helper is reserved for crash-recoverable delta traffic.
+
+        The budget is enforced against a deadline computed once from
+        ``sim.now`` — accumulating ``waited += interval`` in floats drifts
+        after thousands of retries and can over- or under-shoot the budget.
         """
-        waited = 0.0
+        deadline = self.sim.now + budget
         while True:
             try:
                 result = yield from self.rpc(dst, kind, payload, nbytes=nbytes)
                 return result
             except HostDownError:
-                if waited >= budget:
+                if self.sim.now >= deadline:
                     raise
-                yield self.sim.timeout(interval)
-                waited += interval
+                yield float(interval)
 
     def send(self, dst: str, kind: str, payload: dict, nbytes: int = 0):
         """One-way message: pays the forward transfer only (generator).
@@ -283,4 +358,4 @@ class RpcHost:
         )
         if host.crashed:
             return
-        host.mailbox.put(Message(kind, self.name, dst, payload, nbytes, None, self.sim.now))
+        host._deliver(Message(kind, self.name, dst, payload, nbytes, None, self.sim.now))

@@ -147,12 +147,16 @@ class OSD(RpcHost):
             covered = sum(frag.size for _, frag in overlay)
             if covered == length:
                 self.cache_hits += 1
-                yield self.sim.timeout(CACHE_HIT_LATENCY)
+                yield CACHE_HIT_LATENCY
                 out = np.zeros(length, dtype=np.uint8)
                 for off, frag in overlay:
                     out[off - offset : off - offset + frag.size] = frag
                 return out
         base = yield from self.store.read_range(key, offset, length, pattern="rand")
+        # ``base`` is a read-only view of the live block; the reply payload
+        # crosses transfer yields, so snapshot it (and patch overlay
+        # fragments into the snapshot, never into the store).
+        base = base.copy()
         if overlay:
             for off, frag in overlay:
                 base[off - offset : off - offset + frag.size] = frag
@@ -163,4 +167,4 @@ class OSD(RpcHost):
         """Optional heartbeat process (started by recovery experiments)."""
         while self.running:
             yield from self.rpc("mds", "heartbeat", {}, nbytes=8)
-            yield self.sim.timeout(interval)
+            yield self.sim.sleep(interval)

@@ -45,6 +45,11 @@ class ExperimentConfig:
     construction: str = "vandermonde"
     seed: int = 0
     verify: bool = True
+    # Projected-completion data plane (see ClusterConfig.fast_dataplane):
+    # bit-identical virtual times on fault-free runs, one kernel timer per
+    # device I/O / transfer.  The scenario runner enables it for scenarios
+    # without fault injection; keep False when anything can crash mid-run.
+    fast_dataplane: bool = False
     # Strategy-specific keyword arguments (e.g. TSUEConfig fields).
     strategy_params: Dict[str, Any] = field(default_factory=dict)
 
@@ -189,16 +194,15 @@ def build_cluster(cfg: ExperimentConfig) -> Cluster:
             device_profile=cfg.device_profile,
             net_profile=cfg.resolved_net(),
             seed=cfg.seed,
+            fast_dataplane=cfg.fast_dataplane,
         ),
         _strategy_factory(cfg),
     )
 
 
 def drive_to_completion(sim, proc, what: str = "experiment"):
-    """Step the kernel until ``proc`` fires; diagnose a drained-heap hang."""
-    while not proc.fired and sim.peek() != float("inf"):
-        sim.step()
-    if not proc.fired:
+    """Run the kernel until ``proc`` fires; diagnose a drained-heap hang."""
+    if not sim.run_until_fired(proc):
         raise RuntimeError(f"{what} did not complete (deadlock?)")
     return proc.value
 

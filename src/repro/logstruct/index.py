@@ -108,7 +108,14 @@ class TwoLevelIndex:
     # insertion with merge
     # ------------------------------------------------------------------
     def insert(self, key: Hashable, offset: int, data: np.ndarray) -> None:
-        """Record ``data`` at ``offset`` of block ``key`` under the policy."""
+        """Record ``data`` at ``offset`` of block ``key`` under the policy.
+
+        Ownership transfer (zero-copy): the index keeps a *reference* to
+        ``data`` — callers hand over payloads they will never mutate again
+        (RPC payload arrays, freshly computed deltas).  The historical
+        defensive copy per insert was the single largest allocation source
+        on the log append path.
+        """
         data = np.asarray(data, dtype=np.uint8)
         if offset < 0:
             raise ValueError("negative offset")
@@ -118,7 +125,7 @@ class TwoLevelIndex:
         self.stats.raw_bytes += int(data.size)
         self._bitmap[self._bit(key)] = True
         segs = self._blocks.setdefault(key, [])
-        new = Segment(offset, data.copy())
+        new = Segment(offset, data)
         if not segs:
             segs.append(new)
             return
@@ -142,21 +149,23 @@ class TwoLevelIndex:
         start = min(new.offset, group[0].offset)
         end = max(new.end, max(s.end for s in group))
         buf = np.zeros(end - start, dtype=np.uint8)
-        covered = np.zeros(end - start, dtype=bool)
         for s in group:
             buf[s.offset - start : s.end - start] = s.data
-            covered[s.offset - start : s.end - start] = True
         nlo, nhi = new.offset - start, new.end - start
         if self.policy == "overwrite":
             buf[nlo:nhi] = new.data
         else:  # xor
             buf[nlo:nhi] ^= new.data
-        covered[nlo:nhi] = True
         # The union of overlapping-or-adjacent ranges can still contain
         # interior gaps (two old segments bridged only partially by the new
         # one); split on uncovered runs to keep segments truly contiguous.
-        pieces = _covered_runs(covered)
-        merged = [Segment(start + a, buf[a:b].copy()) for a, b in pieces]
+        # The runs come straight from the interval union of the (sorted)
+        # group plus the new range — no boolean bitmap scan needed.
+        # Views, not copies: ``buf`` is freshly built and exclusively owned
+        # by the merged segments (a single full-coverage run is the common
+        # case, where the copy was pure waste).
+        pieces = _interval_union(group, nlo, nhi, start)
+        merged = [Segment(start + a, buf[a:b]) for a, b in pieces]
         segs[lo:hi] = merged
 
     # ------------------------------------------------------------------
@@ -183,7 +192,13 @@ class TwoLevelIndex:
             return None
         s = segs[i]
         if s.offset <= offset and s.end >= end:
-            return s.data[offset - s.offset : end - s.offset].copy()
+            # A read-only view: segment payloads are frozen once inserted
+            # (merges always build fresh buffers), so no defensive copy —
+            # and in-place mutation by a caller raises instead of silently
+            # corrupting the log (same contract as BlockStore views).
+            view = s.data[offset - s.offset : end - s.offset]
+            view.flags.writeable = False
+            return view
         return None
 
     def lookup_partial(
@@ -192,7 +207,9 @@ class TwoLevelIndex:
         """All cached sub-ranges intersecting ``[offset, offset+length)``.
 
         Returns (absolute_offset, bytes) pairs — the read path overlays these
-        on disk data.
+        on disk data.  The byte arrays are views into frozen segment
+        payloads; callers copy *from* them (patching into their own read
+        buffers) and must not mutate them.
         """
         segs = self._blocks.get(key)
         if not segs:
@@ -206,7 +223,9 @@ class TwoLevelIndex:
                 break
             a = max(offset, s.offset)
             b = min(end, s.end)
-            out.append((a, s.data[a - s.offset : b - s.offset].copy()))
+            frag = s.data[a - s.offset : b - s.offset]
+            frag.flags.writeable = False
+            out.append((a, frag))
         return out
 
     def pop_block(self, key: Hashable) -> List[Segment]:
@@ -219,8 +238,45 @@ class TwoLevelIndex:
         self.stats.reset()
 
 
+def _interval_union(
+    group: List[Segment], nlo: int, nhi: int, base: int
+) -> List[Tuple[int, int]]:
+    """Coalesced [a, b) runs covered by ``group`` plus the new range.
+
+    ``group`` is offset-sorted; the new range ``[nlo, nhi)`` is relative to
+    ``base`` (as are the returned runs).  Adjacent-or-overlapping intervals
+    merge into one run, exactly like maximal True-runs over the equivalent
+    coverage bitmap — without materialising the bitmap.
+    """
+    runs: List[Tuple[int, int]] = []
+    placed = False
+    for s in group:
+        a, b = s.offset - base, s.end - base
+        if not placed and nlo <= a:
+            runs.append((nlo, nhi))
+            placed = True
+        runs.append((a, b))
+    if not placed:
+        runs.append((nlo, nhi))
+    # Single sorted-by-start sweep; group was sorted, and the new range was
+    # inserted at its sorted position above.
+    out: List[Tuple[int, int]] = [runs[0]]
+    for a, b in runs[1:]:
+        la, lb = out[-1]
+        if a <= lb:
+            if b > lb:
+                out[-1] = (la, b)
+        else:
+            out.append((a, b))
+    return out
+
+
 def _covered_runs(covered: np.ndarray) -> List[Tuple[int, int]]:
-    """Maximal [a, b) runs of True in a boolean array."""
+    """Maximal [a, b) runs of True in a boolean array (reference impl).
+
+    Kept for tests: :func:`_interval_union` must agree with this on the
+    equivalent coverage bitmap.
+    """
     idx = np.flatnonzero(covered)
     if idx.size == 0:
         return []

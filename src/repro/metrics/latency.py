@@ -5,20 +5,137 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_CHUNK = 4096
+
+
+class SampleBuffer:
+    """Append-only float sample storage in fixed-size numpy chunks.
+
+    A drop-in replacement for the plain Python list the recorders used to
+    keep: supports ``append``/``extend``/``len``/iteration/truthiness and
+    indexing.  At `scale_up` sizes the list of boxed floats dominated
+    memory (~60 B per sample); chunked float64 storage is 8 B per sample,
+    allocated 32 KiB at a time, with no per-sample objects retained.
+
+    Exactness: samples are Python floats (IEEE doubles) and float64 cells
+    hold them losslessly, so sums/sorts over the buffer reproduce the
+    list-based results bit for bit (sequential summation preserved by
+    :meth:`running_sum` walking elements in append order).
+    """
+
+    __slots__ = ("_chunks", "_tail", "_fill")
+
+    def __init__(self) -> None:
+        self._chunks: List[np.ndarray] = []
+        self._tail: Optional[np.ndarray] = None
+        self._fill = 0  # filled cells of the tail chunk
+
+    def append(self, value: float) -> None:
+        tail = self._tail
+        if tail is None or self._fill == _CHUNK:
+            tail = self._tail = np.empty(_CHUNK, dtype=np.float64)
+            self._chunks.append(tail)
+            self._fill = 0
+        tail[self._fill] = value
+        self._fill += 1
+
+    def extend(self, values) -> None:
+        if isinstance(values, SampleBuffer):
+            # Bulk chunk copy (aggregation across recorders at scale).
+            chunks = values._chunks
+            for i, chunk in enumerate(chunks):
+                n = values._fill if i == len(chunks) - 1 else _CHUNK
+                self._extend_array(chunk[:n])
+            return
+        for v in values:
+            self.append(v)
+
+    def _extend_array(self, arr: np.ndarray) -> None:
+        pos = 0
+        n = len(arr)
+        while pos < n:
+            tail = self._tail
+            if tail is None or self._fill == _CHUNK:
+                tail = self._tail = np.empty(_CHUNK, dtype=np.float64)
+                self._chunks.append(tail)
+                self._fill = 0
+            take = min(_CHUNK - self._fill, n - pos)
+            tail[self._fill : self._fill + take] = arr[pos : pos + take]
+            self._fill += take
+            pos += take
+
+    def __len__(self) -> int:
+        if self._tail is None:
+            return 0
+        return (len(self._chunks) - 1) * _CHUNK + self._fill
+
+    def __bool__(self) -> bool:
+        return self._tail is not None and (len(self._chunks) > 1 or self._fill > 0)
+
+    def __iter__(self) -> Iterator[float]:
+        chunks = self._chunks
+        for i, chunk in enumerate(chunks):
+            n = self._fill if i == len(chunks) - 1 else _CHUNK
+            for v in chunk[:n].tolist():
+                yield v
+
+    def __getitem__(self, i: int):
+        n = len(self)
+        if isinstance(i, slice):
+            return self.to_array()[i]
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(i)
+        return float(self._chunks[i // _CHUNK][i % _CHUNK])
+
+    def to_array(self) -> np.ndarray:
+        """All samples as one float64 array (copy; append order)."""
+        if self._tail is None:
+            return np.empty(0, dtype=np.float64)
+        parts = self._chunks[:-1] + [self._tail[: self._fill]]
+        return np.concatenate(parts) if len(parts) > 1 else parts[0].copy()
+
+    def running_sum(self) -> float:
+        """Sequential left-to-right sum — bit-identical to ``sum(list)``."""
+        total = 0.0
+        chunks = self._chunks
+        for i, chunk in enumerate(chunks):
+            n = self._fill if i == len(chunks) - 1 else _CHUNK
+            for v in chunk[:n].tolist():
+                total += v
+        return total
+
+    def max(self) -> float:
+        if not self:
+            raise ValueError("max of empty buffer")
+        best = None
+        chunks = self._chunks
+        for i, chunk in enumerate(chunks):
+            n = self._fill if i == len(chunks) - 1 else _CHUNK
+            m = float(chunk[:n].max()) if n else None
+            if m is not None and (best is None or m > best):
+                best = m
+        return best
 
 
 class LatencyRecorder:
     """Collects (completion_time, latency) samples for one operation class.
 
     Backs both the aggregate IOPS numbers of Fig. 5 (completions / horizon)
-    and the latency comparisons in Fig. 1's narrative.
+    and the latency comparisons in Fig. 1's narrative.  Samples live in
+    chunked numpy buffers (:class:`SampleBuffer`), not Python lists — at
+    ``scale_up`` sizes the boxed-float lists dominated process memory.
     """
 
     def __init__(self, name: str = ""):
         self.name = name
-        self.completion_times: List[float] = []
-        self.latencies: List[float] = []
+        self.completion_times = SampleBuffer()
+        self.latencies = SampleBuffer()
 
     def record(self, completion_time: float, latency: float) -> None:
         if latency < 0:
@@ -34,7 +151,10 @@ class LatencyRecorder:
         return len(self.latencies)
 
     def mean(self) -> float:
-        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+        n = len(self.latencies)
+        # Sequential summation in append order: bit-identical to the
+        # historical sum(list) / n.
+        return self.latencies.running_sum() / n if n else 0.0
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile, q in [0, 100]."""
@@ -51,12 +171,13 @@ class LatencyRecorder:
         for q in qs:
             if not 0.0 <= q <= 100.0:
                 raise ValueError(f"percentile {q} outside [0, 100]")
-        if not self.latencies:
+        n = len(self.latencies)
+        if not n:
             return [0.0] * len(qs)
-        data = sorted(self.latencies)
-        n = len(data)
+        data = np.sort(self.latencies.to_array())
         return [
-            data[min(n - 1, max(0, math.ceil(q / 100.0 * n) - 1))] for q in qs
+            float(data[min(n - 1, max(0, math.ceil(q / 100.0 * n) - 1))])
+            for q in qs
         ]
 
     def summary(self) -> Dict[str, float]:
@@ -72,10 +193,11 @@ class LatencyRecorder:
 
     def throughput(self, horizon: Optional[float] = None) -> float:
         """Completed operations per virtual second."""
-        if not self.completion_times:
+        n = len(self.completion_times)
+        if not n:
             return 0.0
-        h = horizon if horizon is not None else max(self.completion_times)
-        return len(self.completion_times) / h if h > 0 else 0.0
+        h = horizon if horizon is not None else self.completion_times.max()
+        return n / h if h > 0 else 0.0
 
     def iops_series(self, bucket: float, horizon: float) -> "IntervalSeries":
         """Completions bucketed into fixed intervals (Fig. 6a time series)."""

@@ -24,6 +24,12 @@ class NIC:
         self.tx = Resource(sim, capacity=1, name=f"{name}.tx")
         self.rx = Resource(sim, capacity=1, name=f"{name}.rx")
         self.counters = NetCounters()
+        # Projected-completion bookkeeping for the fabric's fast plane
+        # (fault-free runs): the virtual time each direction is busy until.
+        # FIFO algebra over these floats reproduces the event-per-leg
+        # Resource timings exactly.
+        self.tx_busy = 0.0
+        self.rx_busy = 0.0
 
     def wire_time(self, nbytes: int) -> float:
         return nbytes / self.bandwidth

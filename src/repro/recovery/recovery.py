@@ -447,7 +447,9 @@ def _ensure_recovery_handlers(cluster: Cluster) -> None:
             key = msg.payload["key"]
             size = cluster.config.block_size
             data = yield from osd.store.read_range(key, 0, size, pattern="seq")
-            return {"data": data}, size
+            # Snapshot: the payload crosses reply-transfer yields and is
+            # held by the rebuilder while survivors keep serving writes.
+            return {"data": data.copy()}, size
 
         def w_handler(msg, osd=osd):
             yield from osd.store.write_block(
@@ -460,8 +462,6 @@ def _ensure_recovery_handlers(cluster: Cluster) -> None:
 
 
 def _run_until(sim, proc) -> None:
-    while not proc.fired and sim.peek() != float("inf"):
-        sim.step()
-    if not proc.fired:
+    if not sim.run_until_fired(proc):
         raise RuntimeError("recovery step deadlocked")
     proc.value  # re-raise any failure

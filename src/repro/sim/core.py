@@ -1,30 +1,118 @@
-"""The simulation kernel: clock, event heap and generator processes."""
+"""The simulation kernel: clock, event heap and generator processes.
+
+Fast-path architecture (the engine is the wall-clock bottleneck of every
+experiment, so its inner loop is deliberately hand-tuned):
+
+* **Immediate queue.** Zero-delay schedulings (process boots, resource
+  grants, store puts, reply completions) vastly outnumber real timeouts.
+  They go to a FIFO deque instead of the heap; the main loop interleaves
+  deque and heap strictly by ``(time, seq)``, so the *firing order of
+  scheduled entries* is exactly the pure-heap kernel's, at O(1) instead
+  of O(log n) per event.  (Bit-identity of whole-run results is a
+  property of each call-site change, gated empirically by
+  ``repro bench --check-baseline``: fast paths that *elide* transitions
+  shift same-instant tie-breaking, which is observable only in
+  tie-dense regimes — see benchmarks/results/perf_fastpath.md.)
+
+* **Float sleeps.** A process may ``yield`` a plain ``float`` (seconds)
+  instead of a :class:`Timeout` event.  The kernel schedules a two-word
+  wake record directly, skipping event construction entirely.  This is
+  the costed-delay fast path used by devices, NICs and fabric transfers.
+  Only exact ``float``s are recognised — yielding an ``int`` remains a
+  type error, which keeps accidental ``yield 5`` bugs loud.
+
+* **Wake records.** Process boot and interrupt delivery use two-slot
+  ``_Wake`` records rather than full events with lambda callbacks.
+"""
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
-from repro.sim.events import Event, Interrupt, Timeout
+from repro.sim.events import FIRED, PENDING, Event, Interrupt, Timeout
 
 ProcessGen = Generator[Event, Any, Any]
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+
+class _Wake:
+    """A heap/deque entry that resumes a process (boot or interrupt).
+
+    Quacks just enough like an event for the kernel loop (``_fire``); the
+    resume goes through the ``event=None`` path, exactly as the historical
+    boot/interrupt callback events did.
+    """
+
+    __slots__ = ("proc", "exc")
+
+    def __init__(self, proc: "Process", exc: Optional[BaseException]):
+        self.proc = proc
+        self.exc = exc
+
+    def _fire(self) -> None:
+        self.proc._resume(None, self.exc)
+
+
+class At:
+    """An absolute-virtual-time sleep token: ``yield At(t)``.
+
+    Wakes the process at exactly ``t`` — the same float, no re-derivation
+    through ``now + (t - now)`` (which can be off by one ulp).  This is what
+    lets the projected-completion data plane hand a process its precomputed
+    completion instant and stay bit-identical with the event-per-hop path.
+    """
+
+    __slots__ = ("t",)
+
+    def __init__(self, t: float):
+        self.t = t
+
+
+class _SleepWake:
+    """The wake record behind a ``yield <float>`` sleep.
+
+    Carries no value and no exception; ``_value``/``_exc`` are class
+    attributes so :meth:`Process._resume`'s event path (and its staleness
+    check against ``_waiting_on``) works unchanged.
+    """
+
+    __slots__ = ("proc",)
+
+    _value = None
+    _exc = None
+
+    def __init__(self, proc: "Process"):
+        self.proc = proc
+
+    def _fire(self) -> None:
+        self.proc._resume(self, None)
+
 
 class Simulator:
-    """Owns the virtual clock and the pending-event heap.
+    """Owns the virtual clock and the pending-event queues.
 
     Heap entries are ``(time, seq, event)``; ``seq`` is a monotone counter so
     simultaneous events fire in scheduling order, which makes every run
-    deterministic for a fixed seed.
+    deterministic for a fixed seed.  Zero-delay entries live in a FIFO deque
+    as ``(seq, event)`` — the loop merges both sources in ``(time, seq)``
+    order, so the split is invisible to simulated code.
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Tuple[float, int, Event]] = []
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._imm: deque = deque()  # (seq, event) at the current instant
         self._seq: int = 0
         self._active: int = 0  # live processes, for run-to-exhaustion checks
         self._crashed: Optional[BaseException] = None
         self._current: Optional["Process"] = None
+        # Monotone count of fired kernel transitions (events + wakes), the
+        # numerator of the ``events/sec`` perf metric.
+        self.events_fired: int = 0
 
     @property
     def active_process(self) -> Optional["Process"]:
@@ -47,6 +135,21 @@ class Simulator:
         """An event firing ``delay`` virtual seconds from now."""
         return Timeout(self, delay, value)
 
+    def sleep(self, delay: float) -> float:
+        """A costless sleep token: ``yield sim.sleep(dt)``.
+
+        Returns the delay as a float for the kernel's event-free sleep
+        path — no :class:`Timeout` object is built.  This is the public,
+        eagerly-validating spelling of the protocol (it coerces ints and
+        raises on negative delays at the call site); the engine's own hot
+        paths yield pre-validated bare floats directly to skip the method
+        call.
+        """
+        delay = float(delay)
+        if delay < 0:
+            raise ValueError(f"negative sleep delay {delay!r}")
+        return delay
+
     def process(self, gen: ProcessGen, name: str = "") -> "Process":
         """Register a generator as a concurrently-running process."""
         return Process(self, gen, name=name)
@@ -63,13 +166,40 @@ class Simulator:
     # ------------------------------------------------------------------
     # scheduling / main loop
     # ------------------------------------------------------------------
-    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+    def _schedule(self, event: Any, delay: float = 0.0) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if delay == 0.0:
+            self._imm.append((self._seq, event))
+        else:
+            _heappush(self._heap, (self.now + delay, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event (+inf when idle)."""
+        if self._imm:
+            return self.now
         return self._heap[0][0] if self._heap else float("inf")
+
+    def _next(self) -> Any:
+        """Pop the next entry in strict ``(time, seq)`` order (or None).
+
+        Immediate entries all carry the current timestamp, so the only
+        possible interleave is a heap entry at exactly ``now`` with a
+        smaller seq (scheduled earlier at this instant with an explicit
+        nonzero-then-zero mix); the guard keeps that ordering exact.
+        """
+        imm = self._imm
+        heap = self._heap
+        if imm:
+            if heap and heap[0][0] <= self.now and heap[0][1] < imm[0][0]:
+                entry = _heappop(heap)
+                self.now = entry[0]
+                return entry[2]
+            return imm.popleft()[1]
+        if heap:
+            entry = _heappop(heap)
+            self.now = entry[0]
+            return entry[2]
+        return None
 
     def step(self) -> None:
         """Fire the single next event.
@@ -77,10 +207,10 @@ class Simulator:
         Raises :class:`RuntimeError` when nothing is scheduled — callers
         driving the loop by hand should check :meth:`peek` first.
         """
-        if not self._heap:
+        event = self._next()
+        if event is None:
             raise RuntimeError("no scheduled events")
-        when, _seq, event = heapq.heappop(self._heap)
-        self.now = when
+        self.events_fired += 1
         event._fire()
         if self._crashed is not None:
             exc, self._crashed = self._crashed, None
@@ -96,21 +226,77 @@ class Simulator:
             self._crashed = exc
 
     def run(self, until: Optional[float] = None) -> None:
-        """Advance the clock, firing events until the heap drains.
+        """Advance the clock, firing events until the queues drain.
 
         With ``until`` set, stops once the next event would fire after that
         time and fast-forwards the clock exactly to ``until``.
         """
         if until is not None and until < self.now:
             raise ValueError(f"until {until} < now {self.now}")
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
-                self.now = until
-                return
-            self.step()
+        imm = self._imm
+        heap = self._heap
+        fired = 0
+        try:
+            while True:
+                if imm:
+                    if heap and heap[0][0] <= self.now and heap[0][1] < imm[0][0]:
+                        entry = _heappop(heap)
+                        self.now = entry[0]
+                        event = entry[2]
+                    else:
+                        event = imm.popleft()[1]
+                elif heap:
+                    if until is not None and heap[0][0] > until:
+                        self.now = until
+                        return
+                    entry = _heappop(heap)
+                    self.now = entry[0]
+                    event = entry[2]
+                else:
+                    break
+                fired += 1
+                event._fire()
+                if self._crashed is not None:
+                    exc, self._crashed = self._crashed, None
+                    raise exc
+        finally:
+            self.events_fired += fired
         if until is not None:
             self.now = until
+
+    def run_until_fired(self, event: Event) -> bool:
+        """Fire events until ``event`` fires; False if the queues drained.
+
+        The tight driver loop behind ``drive_to_completion``: identical
+        semantics to ``while not event.fired and sim.peek() != inf:
+        sim.step()`` with the per-event Python call overhead removed.
+        """
+        imm = self._imm
+        heap = self._heap
+        fired = 0
+        try:
+            while event._state != FIRED:
+                if imm:
+                    if heap and heap[0][0] <= self.now and heap[0][1] < imm[0][0]:
+                        entry = _heappop(heap)
+                        self.now = entry[0]
+                        ev = entry[2]
+                    else:
+                        ev = imm.popleft()[1]
+                elif heap:
+                    entry = _heappop(heap)
+                    self.now = entry[0]
+                    ev = entry[2]
+                else:
+                    return False
+                fired += 1
+                ev._fire()
+                if self._crashed is not None:
+                    exc, self._crashed = self._crashed, None
+                    raise exc
+            return True
+        finally:
+            self.events_fired += fired
 
 
 class Process(Event):
@@ -126,64 +312,94 @@ class Process(Event):
     def __init__(self, sim: Simulator, gen: ProcessGen, name: str = ""):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self._gen = gen
-        self._waiting_on: Optional[Event] = None
+        self._waiting_on: Optional[Any] = None
         sim._active += 1
-        # Kick off at the current instant via the heap, preserving ordering
-        # with respect to already-scheduled events.
-        boot = sim.event(name=f"boot:{self.name}")
-        boot.add_callback(lambda _ev: self._resume(None, None))
-        boot.succeed()
+        # Kick off at the current instant via the immediate queue, preserving
+        # ordering with respect to already-scheduled events.
+        sim._seq += 1
+        sim._imm.append((sim._seq, _Wake(self, None)))
 
     @property
     def is_alive(self) -> bool:
-        return not self.triggered
+        return self._state == PENDING
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current instant."""
-        if self.triggered:
+        if self._state != PENDING:
             return
-        # Detach from whatever the process was waiting on: the stale event's
-        # callback must become a no-op.
-        ev = self.sim.event(name=f"interrupt:{self.name}")
-        ev.add_callback(lambda _ev: self._resume(None, Interrupt(cause)))
-        ev.succeed()
+        # Delivered via the queue, not synchronously: the victim resumes at
+        # this instant but after already-scheduled same-instant events, and
+        # whatever it was waiting on becomes a stale no-op wakeup.
+        self.sim._schedule(_Wake(self, Interrupt(cause)))
 
     # ------------------------------------------------------------------
-    def _resume(self, event: Optional[Event], exc: Optional[BaseException]) -> None:
-        if self.triggered:
+    def _resume(self, event: Optional[Any], exc: Optional[BaseException]) -> None:
+        if self._state != PENDING:
             return
         if event is not None and event is not self._waiting_on:
             return  # stale wakeup after an interrupt re-routed the process
         self._waiting_on = None
-        prev = self.sim._current
-        self.sim._current = self
+        sim = self.sim
+        gen = self._gen
+        prev = sim._current
+        sim._current = self
         try:
             if exc is not None:
-                target = self._gen.throw(exc)
+                target = gen.throw(exc)
             elif event is not None:
                 if event._exc is not None:
-                    target = self._gen.throw(event._exc)
+                    target = gen.throw(event._exc)
                 else:
-                    target = self._gen.send(event._value)
+                    target = gen.send(event._value)
             else:
-                target = next(self._gen)
+                target = next(gen)
         except StopIteration as stop:
-            self.sim._active -= 1
+            sim._active -= 1
             self.succeed(stop.value)
             return
         except Interrupt:
             # Process chose not to handle the interrupt: treat as clean exit.
-            self.sim._active -= 1
+            sim._active -= 1
             self.succeed(None)
             return
         except BaseException as err:
-            self.sim._active -= 1
+            sim._active -= 1
             self.fail(err)
             return
         finally:
-            self.sim._current = prev
+            sim._current = prev
+        tt = type(target)
+        if tt is float:
+            # The event-free sleep path: schedule a two-slot wake record
+            # (inlined _schedule).
+            if target < 0.0:
+                sim._active -= 1
+                self.fail(ValueError(f"process {self.name!r} yielded a negative sleep {target!r}"))
+                return
+            wake = _SleepWake(self)
+            self._waiting_on = wake
+            sim._seq += 1
+            if target == 0.0:
+                sim._imm.append((sim._seq, wake))
+            else:
+                _heappush(sim._heap, (sim.now + target, sim._seq, wake))
+            return
+        if tt is At:
+            when = target.t
+            if when < sim.now:
+                sim._active -= 1
+                self.fail(ValueError(
+                    f"process {self.name!r} yielded At({when!r}) in the past "
+                    f"(now {sim.now!r})"
+                ))
+                return
+            wake = _SleepWake(self)
+            self._waiting_on = wake
+            sim._seq += 1
+            _heappush(sim._heap, (when, sim._seq, wake))
+            return
         if not isinstance(target, Event):
-            self.sim._active -= 1
+            sim._active -= 1
             bad = TypeError(
                 f"process {self.name!r} yielded {target!r}; processes must "
                 "yield Event instances"
@@ -197,7 +413,7 @@ class Process(Event):
         self._resume(event, None)
 
     def _fire(self) -> None:
-        had_waiters = bool(self.callbacks)
+        had_waiters = self.callbacks is not None
         super()._fire()
-        if self._exc is not None and not had_waiters and not self.callbacks:
+        if self._exc is not None and not had_waiters and self.callbacks is None:
             self.sim._crash(self._exc)

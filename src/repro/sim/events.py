@@ -4,18 +4,30 @@ An :class:`Event` is a one-shot future living on a simulator's virtual
 timeline.  Processes wait on events by ``yield``-ing them; the kernel resumes
 the process when the event fires.  Events may carry a value (delivered as the
 result of the ``yield``) or an exception (raised inside the waiting process).
+
+Hot-path discipline (this module is the innermost loop of every experiment):
+
+* event lifecycle states are small ints compared by identity, not strings;
+* the callback list is allocated lazily — the great majority of events carry
+  exactly one callback or none, and most are created and fired within a few
+  microseconds of wall time;
+* constructors never build debug-name strings (``repr`` falls back to the
+  object id), so the per-event cost is attribute stores only.
 """
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.sim.core import Simulator
 
-PENDING = "pending"
-SCHEDULED = "scheduled"
-FIRED = "fired"
+# Lifecycle states.  Ints, not strings: these are compared on every kernel
+# transition.  The historical names remain importable.
+PENDING = 0
+SCHEDULED = 1
+FIRED = 2
 
 
 class Interrupt(Exception):
@@ -42,7 +54,8 @@ class Event:
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
-        self.callbacks: List[Callable[["Event"], None]] = []
+        # Lazily allocated: None until the first callback is added.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = None
         self._state = PENDING
         self._value: Any = None
         self._exc: Optional[BaseException] = None
@@ -81,7 +94,14 @@ class Event:
             raise RuntimeError(f"event {self.name!r} already triggered")
         self._state = SCHEDULED
         self._value = value
-        self.sim._schedule(self, delay)
+        # Inlined Simulator._schedule — succeed() is the hottest scheduling
+        # entry point.
+        sim = self.sim
+        sim._seq += 1
+        if delay == 0.0:
+            sim._imm.append((sim._seq, self))
+        else:
+            _heappush(sim._heap, (sim.now + delay, sim._seq, self))
         return self
 
     def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
@@ -100,19 +120,24 @@ class Event:
     # ------------------------------------------------------------------
     def _fire(self) -> None:
         self._state = FIRED
-        callbacks, self.callbacks = self.callbacks, []
-        for cb in callbacks:
-            cb(self)
+        callbacks = self.callbacks
+        if callbacks is not None:
+            self.callbacks = None
+            for cb in callbacks:
+                cb(self)
 
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         """Run ``cb(event)`` when the event fires (immediately if fired)."""
         if self._state == FIRED:
             cb(self)
+        elif self.callbacks is None:
+            self.callbacks = [cb]
         else:
             self.callbacks.append(cb)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Event {self.name or hex(id(self))} {self._state}>"
+        state = ("pending", "scheduled", "fired")[self._state]
+        return f"<Event {self.name or hex(id(self))} {state}>"
 
 
 class Timeout(Event):
@@ -123,11 +148,21 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=f"timeout({delay:g})")
-        self.delay = delay
+        # Inlined Event.__init__ + succeed(): timeouts are the most common
+        # event kind, and the f-string debug name alone used to dominate
+        # their construction cost.
+        self.sim = sim
+        self.callbacks = None
         self._state = SCHEDULED
         self._value = value
-        sim._schedule(self, delay)
+        self._exc = None
+        self.name = "timeout"
+        self.delay = delay
+        sim._seq += 1
+        if delay == 0.0:
+            sim._imm.append((sim._seq, self))
+        else:
+            _heappush(sim._heap, (sim.now + delay, sim._seq, self))
 
 
 class _Condition(Event):
@@ -166,7 +201,7 @@ class AllOf(_Condition):
         super().__init__(sim, events, name="all_of")
 
     def _on_child(self, ev: Event) -> None:
-        if self.triggered:
+        if self._state != PENDING:
             return
         if ev._exc is not None:
             self.fail(ev._exc)
@@ -179,15 +214,25 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Fires when the *first* child event fires; value is ``(index, value)``."""
 
-    __slots__ = ()
+    __slots__ = ("_index_of",)
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        # Precomputed id -> index map: ``events.index(ev)`` was an O(n) scan
+        # per child fire, and identity (not equality) is the right lookup —
+        # with a duplicated event object the scan's first-occurrence answer
+        # is preserved by setdefault.  Built before super().__init__ because
+        # an already-fired child fires ``_on_child`` synchronously from the
+        # constructor's add_callback.
+        events = list(events)
+        self._index_of = {}
+        for i, ev in enumerate(events):
+            self._index_of.setdefault(id(ev), i)
         super().__init__(sim, events, name="any_of")
 
     def _on_child(self, ev: Event) -> None:
-        if self.triggered:
+        if self._state != PENDING:
             return
         if ev._exc is not None:
             self.fail(ev._exc)
             return
-        self.succeed((self.events.index(ev), ev._value))
+        self.succeed((self._index_of[id(ev)], ev._value))

@@ -412,8 +412,10 @@ class TSUEEngine:
         deltas: List[Tuple[int, np.ndarray]] = []
         for offset, data in pieces:
             old = yield from store.read_range(key, offset, data.size, pattern="rand")
+            # ``old`` is a view of the live block — delta before the write.
+            delta = old ^ data
             yield from store.write_range(key, offset, data, pattern="rand")
-            deltas.append((offset, old ^ data))
+            deltas.append((offset, delta))
         if not deltas:
             return
         inode, stripe, j = key

@@ -120,7 +120,8 @@ class UpdateStrategy:
         stripe = (key[0], key[1])
         locks = self.osd.stripe_locks
         holder = self.sim.active_process or body
-        yield locks.acquire(stripe, holder)
+        if not locks.try_acquire(stripe, holder):
+            yield locks.acquire(stripe, holder)
         try:
             result = yield from body
         finally:
@@ -134,8 +135,12 @@ class UpdateStrategy:
         removes from the critical path.
         """
         old = yield from self.osd.store.read_range(key, offset, data.size, pattern="rand")
+        # ``old`` is a zero-copy view of the live block: the delta must be
+        # computed *before* the write overwrites those bytes (no yield in
+        # between, so no other process can intervene either).
+        delta = old ^ data
         yield from self.osd.store.write_range(key, offset, data, pattern="rand")
-        return old ^ data
+        return delta
 
     def parity_targets(self, key: BlockKey) -> List[Tuple[int, str]]:
         """(parity_index, osd_name) for each parity block of the stripe."""

@@ -73,10 +73,12 @@ class FLStrategy(UpdateStrategy):
                     old = yield from self.osd.store.read_range(
                         key, seg.offset, seg.length, pattern="rand"
                     )
+                    # ``old`` is a view of the live block — delta before
+                    # the write that overwrites those bytes.
+                    delta = old ^ seg.data
                     yield from self.osd.store.write_range(
                         key, seg.offset, seg.data, pattern="rand"
                     )
-                    delta = old ^ seg.data
                     for p, osd_name in self.parity_targets(key):
                         pdelta = self.cluster.codec.parity_delta(key[2], p, delta)
                         # Retrying push: the recycle worker owns this delta

@@ -160,6 +160,10 @@ class PARIXStrategy(UpdateStrategy):
             old = yield from self.osd.store.read_range(
                 key, offset, data.size, pattern="rand"
             )
+            # Snapshot the original: the view must survive the parity-log
+            # ship (yields) and the local overwrite below — and the parity
+            # side retains the payload in its original-image log.
+            old = old.copy()
             calls = [
                 self.sim.process(
                     self.osd.rpc(

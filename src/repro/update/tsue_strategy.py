@@ -49,7 +49,18 @@ class TSUEStrategy(UpdateStrategy):
         t0 = self.sim.now
         yield from self.engine.append_datalog(key, offset, data)
         n_replicas = self.engine.config.replicas - 1
-        if n_replicas > 0:
+        if n_replicas == 1:
+            # The common geometry (2 DataLog copies): one replica forward,
+            # run inline — no child process, no AllOf barrier.
+            me = self.osd.index
+            n = self.cluster.config.n_osds
+            yield from self.osd.rpc(
+                f"osd{(me + 1) % n}",
+                "tsue_replica",
+                {"key": key, "offset": offset, "data": data},
+                nbytes=int(data.size),
+            )
+        elif n_replicas > 1:
             calls = []
             me = self.osd.index
             n = self.cluster.config.n_osds

@@ -116,10 +116,12 @@ class OpenLoopGenerator:
                 break
             gap = spec.arrivals.next_gap(sim.now, self.rng)
             if gap > 0:
-                yield sim.timeout(gap)
+                yield float(gap)
             # The iodepth bound: arrivals past the pipelining budget wait
-            # here, which is what keeps open-loop memory finite.
-            yield slots.request()
+            # here, which is what keeps open-loop memory finite.  A free
+            # slot is taken synchronously (no grant event round trip).
+            if not slots.try_acquire():
+                yield slots.request()
             # Re-check the deadline at the slot grant: with iodepth=1 the
             # grant lands exactly at the previous completion, matching the
             # historical closed-loop replayer's issue-time truncation.

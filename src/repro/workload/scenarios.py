@@ -107,6 +107,12 @@ class Scenario:
     faults: Tuple[FaultEvent, ...] = ()
     recovery: bool = False
     heartbeat_interval: float = 0.002
+    # Native scale: used when the runner does not pass an explicit client /
+    # request count (None there means "the scenario's own size").  Lets
+    # large-scale scenarios like ``scale_up`` carry their intended size
+    # while the smoke registry keeps the historical 4 x 200 default.
+    default_clients: Optional[int] = None
+    default_requests: Optional[int] = None
 
 
 SCENARIOS: Dict[str, Scenario] = {}
@@ -193,6 +199,23 @@ register_scenario(Scenario(
     make_records=_hot_stripe_records,
 ))
 
+# The post-fast-path scale tier: an order of magnitude more clients x
+# requests than the smoke rows (32 x 2000 = 64k requests vs 4 x 200 = 800).
+# Saturating open-loop load — 32 clients offer far more than the 8-OSD
+# cluster absorbs, so this measures peak sustainable throughput with the
+# iodepth bound as the only brake.  Only practical with the fast-path
+# engine; the pre-PR engine took minutes per method here.
+register_scenario(Scenario(
+    name="scale_up",
+    description="32 clients x 2000 requests, saturating steady arrivals "
+                "(the 10x scale tier; native size, shrinks under explicit "
+                "--clients/--requests)",
+    make_arrivals=lambda: PoissonArrivals(rate=4000.0),
+    iodepth=8,
+    default_clients=32,
+    default_requests=2000,
+))
+
 
 # Failure scenarios.  Fault times are early enough to land inside even the
 # 2-client x 40-request smoke runs (~10ms of arrivals at 4k req/s) while the
@@ -263,6 +286,12 @@ class ScenarioResult:
     # p99, foreground-throughput dip during downtime, retry/fence counts
     # and the post-recovery scrub size.  Flat floats/ints, JSON-ready.
     recovery: Optional[Dict[str, float]] = None
+    # Wall-clock measurement of this run (wall seconds, kernel events,
+    # events/sec, peak RSS).  Machine-dependent by nature, so it is NOT
+    # part of to_dict() — the simulated-output rows must stay bit-exact
+    # across hosts; ``results_to_json`` publishes it as a separate ``perf``
+    # section instead.
+    perf: Optional[Dict[str, float]] = None
 
     @property
     def consistent(self) -> bool:
@@ -343,6 +372,7 @@ def scenario_config(
     requests_per_client: int = 200,
     method: str = "tsue",
     device: str = "ssd",
+    fast_dataplane: bool = False,
 ):
     """The smoke-scale cluster geometry every scenario runs against."""
     from repro.harness.experiment import ExperimentConfig
@@ -360,18 +390,28 @@ def scenario_config(
         device_kind=device,
         seed=seed,
         verify=False,
+        fast_dataplane=fast_dataplane,
     )
 
 
 def run_scenario(
     name: str,
     seed: int = 7,
-    n_clients: int = 4,
-    requests_per_client: int = 200,
+    n_clients: Optional[int] = None,
+    requests_per_client: Optional[int] = None,
     method: str = "tsue",
     device: str = "ssd",
 ) -> ScenarioResult:
-    """Run one named scenario end to end (pure function of its arguments)."""
+    """Run one named scenario end to end (pure function of its arguments).
+
+    ``n_clients`` / ``requests_per_client`` of ``None`` mean "the
+    scenario's native size" — the registry default of 4 x 200 for the
+    smoke scenarios, 32 x 2000 for ``scale_up``.  Explicit values always
+    win (CI smokes shrink every scenario the same way).
+    """
+    import resource as _resource
+    import time as _time
+
     from repro.harness.experiment import (
         aggregate_update_latency,
         build_cluster,
@@ -384,7 +424,18 @@ def run_scenario(
         known = ", ".join(sorted(SCENARIOS))
         raise ValueError(f"unknown scenario {name!r}; known: {known}")
     scenario = SCENARIOS[name]
-    cfg = scenario_config(seed, n_clients, requests_per_client, method, device)
+    if n_clients is None:
+        n_clients = scenario.default_clients or 4
+    if requests_per_client is None:
+        requests_per_client = scenario.default_requests or 200
+    wall_t0 = _time.perf_counter()
+    # Fault-free scenarios run the projected-completion data plane (same
+    # virtual times, a fraction of the kernel events); fault scenarios need
+    # the event-based plane for interrupt-mid-I/O semantics.
+    cfg = scenario_config(
+        seed, n_clients, requests_per_client, method, device,
+        fast_dataplane=not scenario.faults,
+    )
     cluster = build_cluster(cfg)
     sim = cluster.sim
 
@@ -479,9 +530,11 @@ def run_scenario(
             scrub_report = yield from scrub(cluster, targets, force=True)
         return horizon, recoveries, scrub_report
 
+    sim_t0 = _time.perf_counter()
     horizon, recoveries, scrub_report = drive_to_completion(
         sim, sim.process(main(), name=f"scenario:{name}"), what=f"scenario {name!r}"
     )
+    sim_wall = _time.perf_counter() - sim_t0
     cluster.stop()
 
     recovery_section = None
@@ -527,6 +580,25 @@ def run_scenario(
     p50, p95, p99 = agg.percentiles((50.0, 95.0, 99.0))
     updates = sum(g.completed for g in generators)
     reads = sum(g.reads_completed for g in generators)
+    # Wall-clock measurement (machine-dependent; see ScenarioResult.perf).
+    # ``events`` counts kernel transitions fired; events_per_sec is engine
+    # throughput over the simulation phase proper (setup/teardown and the
+    # consistency gates excluded); peak RSS is the process high-water mark
+    # at scenario end (ru_maxrss, KiB on Linux).
+    wall = _time.perf_counter() - wall_t0
+    perf_section = {
+        "wall_s": wall,
+        "sim_wall_s": sim_wall,
+        "events": float(sim.events_fired),
+        "events_per_sec": sim.events_fired / sim_wall if sim_wall > 0 else 0.0,
+        "requests_per_wall_sec": (
+            (updates + reads) / wall if wall > 0 else 0.0
+        ),
+        "peak_rss_kb": float(
+            _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+        ),
+        "fast_dataplane": float(cfg.fast_dataplane),
+    }
     return ScenarioResult(
         name=name,
         method=method,
@@ -546,6 +618,7 @@ def run_scenario(
         lock_wait_mean=wait_mean,
         lock_wait_p99=wait_p99,
         recovery=recovery_section,
+        perf=perf_section,
     )
 
 
@@ -673,12 +746,17 @@ def results_to_json(
     results: Sequence[ScenarioResult],
     method_rows: Sequence[ScenarioResult] = (),
     recovery_rows: Sequence[ScenarioResult] = (),
+    scale_up_rows: Sequence[ScenarioResult] = (),
 ) -> dict:
     """The ``BENCH_scenarios.json`` baseline payload.
 
     ``recovery_rows`` is a per-method sweep of a failure scenario — the
     Fig. 8b-style table (recovery MB/s, degraded p99, foreground dip per
-    method) lands under ``"recovery"``.
+    method) lands under ``"recovery"``; ``scale_up_rows`` is the
+    per-method sweep of the 10x ``scale_up`` tier.  The ``perf`` section
+    is wall-clock measurement (seconds, kernel events/sec, peak RSS) —
+    machine-dependent, kept OUT of the simulated-output rows so those stay
+    bit-exact across hosts; determinism gates must ignore it.
     """
     payload = {
         "bench": "scenarios",
@@ -692,4 +770,15 @@ def results_to_json(
         payload["recovery"] = {
             r.method: r.to_dict() for r in recovery_rows
         }
+    if scale_up_rows:
+        payload["scale_up"] = {
+            r.method: r.to_dict() for r in scale_up_rows
+        }
+    perf = {r.name: dict(r.perf) for r in results if r.perf}
+    if scale_up_rows:
+        perf.update(
+            {f"scale_up/{r.method}": dict(r.perf) for r in scale_up_rows if r.perf}
+        )
+    if perf:
+        payload["perf"] = perf
     return payload
