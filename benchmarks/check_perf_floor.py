@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Events/sec floor check: fresh bench perf vs the committed baseline.
+
+Wall-clock perf is machine-dependent by design (the ``perf`` section is
+excluded from every determinism gate), but a *hard* engine regression —
+an accidental O(n^2) in the kernel, a fast path silently disabled — shows
+up as a collapse in ``events_per_sec`` that no host difference explains.
+This check compares the rows present in both a fresh run and the
+committed ``BENCH_scenarios.json`` and fails if any fresh row's
+events/sec drops below ``(1 - tolerance)`` of the committed value.  The
+default tolerance is deliberately generous (50%): CI runners differ from
+the snapshot host, and rows may run concurrently under ``--jobs``; the
+check is a tripwire for hard regressions, not a benchmark.
+
+Usage:
+    python benchmarks/check_perf_floor.py \
+        --baseline BENCH_scenarios.json --fresh /tmp/BENCH_smoke.json \
+        [--tolerance 0.5] [--rows steady hot_stripe]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed bench JSON (the floor)")
+    ap.add_argument("--fresh", required=True,
+                    help="bench JSON from this run")
+    ap.add_argument("--tolerance", type=float, default=0.5,
+                    help="allowed fractional drop (default 0.5 = 50%%)")
+    ap.add_argument("--rows", nargs="*", default=None, metavar="NAME",
+                    help="restrict the check to these perf rows "
+                         "(default: every row present in both files)")
+    args = ap.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        print(f"tolerance must be in [0, 1), got {args.tolerance}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        baseline = json.load(open(args.baseline)).get("perf", {})
+        fresh = json.load(open(args.fresh)).get("perf", {})
+    except (OSError, ValueError) as exc:
+        print(f"cannot load perf sections: {exc}", file=sys.stderr)
+        return 2
+
+    shared = sorted(set(baseline) & set(fresh))
+    if args.rows is not None:
+        missing = [r for r in args.rows if r not in shared]
+        if missing:
+            print(f"requested rows missing from one side: {missing} "
+                  f"(shared: {shared})", file=sys.stderr)
+            return 2
+        shared = args.rows
+    if not shared:
+        print("no perf rows shared between baseline and fresh run",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for row in shared:
+        floor = baseline[row]["events_per_sec"] * (1.0 - args.tolerance)
+        got = fresh[row]["events_per_sec"]
+        status = "ok" if got >= floor else "REGRESSED"
+        print(f"{row:24s} {got:>12,.0f} ev/s (floor {floor:>12,.0f}, "
+              f"committed {baseline[row]['events_per_sec']:>12,.0f}) "
+              f"{status}")
+        if got < floor:
+            failures.append(row)
+    if failures:
+        print(f"PERF FLOOR FAILED for {failures}: events/sec fell more "
+              f"than {args.tolerance:.0%} below the committed baseline",
+              file=sys.stderr)
+        return 1
+    print(f"perf floor ok over {len(shared)} row(s) "
+          f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,10 +104,17 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--scale-up-scenario", default="scale_up",
                     help="scenario for the per-method 10x-scale sweep "
                          "(default: scale_up; \"none\" skips it)")
+    be.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                    help="fan scenario x method rows out over N worker "
+                         "processes (each row is an isolated simulator; "
+                         "rows are merged deterministically, so output is "
+                         "identical to --jobs 1, the serial reference "
+                         "path)")
     be.add_argument("--json", nargs="?", const="BENCH_scenarios.json",
                     default=None, metavar="PATH",
                     help="also write a JSON baseline (default PATH: "
-                         "BENCH_scenarios.json)")
+                         "BENCH_scenarios.json; written atomically via "
+                         "temp file + rename)")
     be.add_argument("--profile", nargs="?",
                     const="benchmarks/results/bench_profile.txt",
                     default=None, metavar="PATH",
@@ -227,8 +234,7 @@ def main(argv=None) -> int:
             InconsistentDrainError,
             PostRecoveryScrubError,
             results_to_json,
-            run_all_scenarios,
-            run_method_sweep,
+            run_bench_cells,
         )
 
         # Validate selectors before simulating anything: a typo must not
@@ -253,6 +259,13 @@ def main(argv=None) -> int:
         if unknown:
             print(f"unknown method(s) {unknown}; known: "
                   f"{', '.join(METHODS)}", file=sys.stderr)
+            return 2
+        if args.jobs < 1:
+            print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+            return 2
+        if args.profile and args.jobs > 1:
+            print("--profile needs --jobs 1 (rows run in worker processes "
+                  "the parent profiler cannot see)", file=sys.stderr)
             return 2
 
         # Load the baseline BEFORE simulating (fail fast on a bad path) and
@@ -280,37 +293,49 @@ def main(argv=None) -> int:
             n_clients=args.clients,
             requests_per_client=args.requests,
         )
+        registry_names = (
+            sorted(SCENARIOS) if args.scenarios is None else args.scenarios
+        )
+        sweep_methods = ()
+        if args.methods is None or args.methods:
+            sweep_methods = tuple(METHODS if args.methods is None else args.methods)
+        # One row list, one executor: the full scenario x method cell set
+        # in canonical order.  run_bench_cells de-duplicates (a sweep cell
+        # that equals a registry cell simulates once) and returns a
+        # cell-keyed mapping, so the sections below assemble identically
+        # whether the cells ran serially (--jobs 1, the in-process
+        # reference path) or over a process pool.
+        rows = [(n, "tsue") for n in registry_names]
+        sweep_scenarios = []
+        if sweep_methods:
+            sweep_scenarios.append(args.method_scenario)
+            if args.recovery_scenario != "none":
+                sweep_scenarios.append(args.recovery_scenario)
+            if args.scale_up_scenario != "none":
+                sweep_scenarios.append(args.scale_up_scenario)
+        for s in sweep_scenarios:
+            rows.extend((s, m) for m in sweep_methods)
         try:
-            results = run_all_scenarios(names=args.scenarios, **scale)
-            method_rows = []
-            recovery_rows = []
-            scale_up_rows = []
-            if args.methods is None or args.methods:
-                # The registry run may already hold this scenario's default-
-                # method cell; reuse it rather than simulating it twice.
-                method_rows = run_method_sweep(
-                    scenario=args.method_scenario,
-                    methods=args.methods,
-                    reuse=results,
-                    **scale,
-                )
-                if args.recovery_scenario != "none":
-                    recovery_rows = run_method_sweep(
-                        scenario=args.recovery_scenario,
-                        methods=args.methods,
-                        reuse=results,
-                        **scale,
-                    )
-                if args.scale_up_scenario != "none":
-                    scale_up_rows = run_method_sweep(
-                        scenario=args.scale_up_scenario,
-                        methods=args.methods,
-                        reuse=results,
-                        **scale,
-                    )
+            cells = run_bench_cells(rows, jobs=args.jobs, **scale)
         except (InconsistentDrainError, PostRecoveryScrubError) as exc:
             print(f"FAIL: {exc}", file=sys.stderr)
             return 1
+        results = [cells[(n, "tsue")] for n in registry_names]
+        method_rows = []
+        recovery_rows = []
+        scale_up_rows = []
+        if sweep_methods:
+            method_rows = [
+                cells[(args.method_scenario, m)] for m in sweep_methods
+            ]
+            if args.recovery_scenario != "none":
+                recovery_rows = [
+                    cells[(args.recovery_scenario, m)] for m in sweep_methods
+                ]
+            if args.scale_up_scenario != "none":
+                scale_up_rows = [
+                    cells[(args.scale_up_scenario, m)] for m in sweep_methods
+                ]
 
         if profiler is not None:
             import io
@@ -342,9 +367,30 @@ def main(argv=None) -> int:
         payload = results_to_json(results, method_rows, recovery_rows,
                                   scale_up_rows)
         if args.json:
-            with open(args.json, "w") as fh:
-                json.dump(payload, fh, indent=2, sort_keys=True)
-                fh.write("\n")
+            import os
+            import tempfile
+
+            # Atomic write (temp file + rename in the destination
+            # directory): a crashed or interrupted run can truncate a
+            # plain open(..., "w"), silently destroying the committed
+            # baseline the determinism gates diff against.
+            dest = os.path.abspath(args.json)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(dest),
+                prefix=os.path.basename(dest) + ".",
+                suffix=".tmp",
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                os.replace(tmp, dest)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
             print(f"wrote {args.json}")
         if baseline is not None:
             drift = _baseline_drift(baseline, payload)

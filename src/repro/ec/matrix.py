@@ -15,6 +15,9 @@ import numpy as np
 
 from repro.gf.arithmetic import _EXP, _LOG, _MUL_TABLE, gf_inv
 
+# Reusable gather scratch for gf_matmul (see comment at the use site).
+_MATMUL_SCRATCH = [np.empty(0, dtype=np.uint8)]
+
 
 def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Matrix product over GF(256).
@@ -30,10 +33,17 @@ def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     if a.shape[1] != b.shape[0]:
         raise ValueError(f"shape mismatch {a.shape} @ {b.shape}")
     out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
-    # One reusable gather buffer per call: np.take(..., out=) instead of
-    # fancy indexing removes the temporary allocation per (row, k) term —
-    # this runs once per stripe in every consistency gate and scrub.
-    tmp = np.empty(b.shape[1], dtype=np.uint8)
+    # One reusable gather buffer: np.take(..., out=) instead of fancy
+    # indexing removes the temporary allocation per (row, k) term — this
+    # runs once per stripe in every consistency gate and scrub.  The
+    # buffer is module-global (monotonically grown, views serve smaller
+    # calls): the simulation is single-threaded and the scratch never
+    # escapes the call, so one process-wide buffer removes the remaining
+    # allocation per matmul.
+    tmp = _MATMUL_SCRATCH[0]
+    if tmp.size < b.shape[1]:
+        tmp = _MATMUL_SCRATCH[0] = np.empty(b.shape[1], dtype=np.uint8)
+    tmp = tmp[: b.shape[1]]
     for i in range(a.shape[0]):
         acc = out[i]
         row = a[i]

@@ -110,7 +110,8 @@ class BlockStore:
         pattern: Optional[str] = "rand",
     ):
         """In-place range update (always an overwrite in wear terms)."""
-        data = np.asarray(data, dtype=np.uint8)
+        if type(data) is not np.ndarray or data.dtype != np.uint8:
+            data = np.asarray(data, dtype=np.uint8)
         self._check_range(offset, data.size)
         blk = self._materialize(key)
         yield from self.device.write(
@@ -136,7 +137,8 @@ class BlockStore:
         applications to the same range commute instead of losing updates —
         the property parity-delta application needs.
         """
-        delta = np.asarray(delta, dtype=np.uint8)
+        if type(delta) is not np.ndarray or delta.dtype != np.uint8:
+            delta = np.asarray(delta, dtype=np.uint8)
         self._check_range(offset, delta.size)
         blk = self._materialize(key)
         base = self.device_offset(key) + offset

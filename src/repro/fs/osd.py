@@ -144,14 +144,19 @@ class OSD(RpcHost):
         """
         overlay = self.strategy.read_overlay(key, offset, length)
         if overlay:
+            # Snapshot the fragments *before* any yield: they are views
+            # into live log-segment buffers, which concurrent inserts may
+            # fold into in place — the read must return the bytes as of
+            # lookup time, not whatever lands during its simulated wait.
             covered = sum(frag.size for _, frag in overlay)
             if covered == length:
                 self.cache_hits += 1
-                yield CACHE_HIT_LATENCY
                 out = np.zeros(length, dtype=np.uint8)
                 for off, frag in overlay:
                     out[off - offset : off - offset + frag.size] = frag
+                yield CACHE_HIT_LATENCY
                 return out
+            overlay = [(off, frag.copy()) for off, frag in overlay]
         base = yield from self.store.read_range(key, offset, length, pattern="rand")
         # ``base`` is a read-only view of the live block; the reply payload
         # crosses transfer yields, so snapshot it (and patch overlay

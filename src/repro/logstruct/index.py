@@ -19,8 +19,8 @@ win the paper measures.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
-from dataclasses import dataclass, field
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -28,28 +28,40 @@ import numpy as np
 BITMAP_BITS = 4096
 
 
-@dataclass
 class Segment:
-    """One contiguous byte range pending for a block."""
+    """One contiguous byte range pending for a block.
 
-    offset: int
-    data: np.ndarray
+    A plain slotted class with ``length``/``end`` precomputed: segment
+    extents never change after construction (in-place merges only rewrite
+    bytes), and the properties the old dataclass computed per access were
+    measurably hot in ``_merge_into``/``lookup_partial`` loops.
 
-    def __post_init__(self) -> None:
-        self.data = np.asarray(self.data, dtype=np.uint8)
-        if self.data.ndim != 1:
+    ``owned`` records whether the payload buffer is private to the index:
+    zero-copy inserts wrap the *caller's* array (``owned=False`` — the
+    caller may retain it, e.g. a client holding its update payload for
+    crash retries), while merge rebuilds allocate fresh buffers
+    (``owned=True``).  The contained-update fold copies-on-first-write:
+    a not-owned buffer is snapshotted once, then folded in place, so a
+    handed-over array is never mutated no matter who else references it.
+    """
+
+    __slots__ = ("offset", "data", "length", "end", "owned")
+
+    def __init__(self, offset: int, data: np.ndarray, owned: bool = False):
+        data = np.asarray(data, dtype=np.uint8)
+        if data.ndim != 1:
             raise ValueError("segment payload must be 1-D bytes")
-
-    @property
-    def length(self) -> int:
-        return int(self.data.size)
-
-    @property
-    def end(self) -> int:
-        return self.offset + self.length
+        self.offset = offset
+        self.data = data
+        self.length = int(data.size)
+        self.end = offset + self.length
+        self.owned = owned
 
     def __lt__(self, other: "Segment") -> bool:
         return self.offset < other.offset
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Segment(offset={self.offset}, length={self.length})"
 
 
 @dataclass
@@ -67,10 +79,19 @@ class IndexStats:
 class TwoLevelIndex:
     """Block hash map -> offset-sorted coalesced segment list."""
 
-    def __init__(self, policy: str = "overwrite"):
+    def __init__(self, policy: str = "overwrite", inplace_merge: bool = True):
         if policy not in ("overwrite", "xor"):
             raise ValueError(f"policy must be 'overwrite' or 'xor', got {policy!r}")
         self.policy = policy
+        # Contained updates normally fold into the existing segment buffer
+        # in place (no rebuild; copy-on-first-write protects caller-owned
+        # arrays — see Segment.owned).  Owners whose protocol depends on
+        # the historical always-rebuild semantics — PARIX ships one
+        # original/latest array to every parity OSD and refresh-inserts
+        # ranges contained in live original segments, pairing lookups and
+        # folds across yields — pass ``inplace_merge=False`` to keep
+        # merge behaviour byte-for-byte historical.
+        self.inplace_merge = inplace_merge
         self._blocks: Dict[Hashable, List[Segment]] = {}
         self._bitmap = np.zeros(BITMAP_BITS, dtype=bool)
         self.stats = IndexStats()
@@ -124,12 +145,17 @@ class TwoLevelIndex:
         self.stats.raw_inserts += 1
         self.stats.raw_bytes += int(data.size)
         self._bitmap[self._bit(key)] = True
-        segs = self._blocks.setdefault(key, [])
-        new = Segment(offset, data)
-        if not segs:
-            segs.append(new)
+        segs = self._blocks.get(key)
+        if segs is None:
+            self._blocks[key] = [Segment(offset, data)]
             return
-        self._merge_into(segs, new)
+        # Ascending-offset streams append past the last segment constantly;
+        # skip the bisect entirely when the new range starts strictly after
+        # everything (strictly: an exactly-adjacent range must coalesce).
+        if offset > segs[-1].end:
+            segs.append(Segment(offset, data))
+            return
+        self._merge_into(segs, Segment(offset, data))
 
     def _merge_into(self, segs: List[Segment], new: Segment) -> None:
         # Candidates: every existing segment overlapping or exactly adjacent
@@ -145,6 +171,31 @@ class TwoLevelIndex:
         if lo == hi:
             segs.insert(lo, new)
             return
+        if hi - lo == 1 and self.inplace_merge:
+            s = segs[lo]
+            if s.offset <= new.offset and s.end >= new.end:
+                # Contained-update fast path (the same hot location written
+                # again — the dominant case under temporal locality): fold
+                # the bytes into the existing segment in place.  No buffer
+                # rebuild, no interval union, no list splice.  Copy-on-
+                # first-write: a buffer the index does not own (a zero-copy
+                # caller array — possibly retained by the client for crash
+                # retries, possibly read-only) is snapshotted exactly once,
+                # so handed-over arrays are never mutated; after that the
+                # private buffer folds in place for free.  Views handed out
+                # by earlier lookups alias the private buffer, so the
+                # payload contract is BlockStore-like: fragments are valid
+                # until the next insert touching the block; read paths
+                # patch them into their own buffers before yielding.
+                if not s.owned:
+                    s.data = s.data.copy()
+                    s.owned = True
+                a, b = new.offset - s.offset, new.end - s.offset
+                if self.policy == "overwrite":
+                    s.data[a:b] = new.data
+                else:
+                    s.data[a:b] ^= new.data
+                return
         group = segs[lo:hi]
         start = min(new.offset, group[0].offset)
         end = max(new.end, max(s.end for s in group))
@@ -165,7 +216,9 @@ class TwoLevelIndex:
         # by the merged segments (a single full-coverage run is the common
         # case, where the copy was pure waste).
         pieces = _interval_union(group, nlo, nhi, start)
-        merged = [Segment(start + a, buf[a:b]) for a, b in pieces]
+        # ``buf`` is freshly built and exclusively the merged segments',
+        # so they own their (disjoint) views of it.
+        merged = [Segment(start + a, buf[a:b], owned=True) for a, b in pieces]
         segs[lo:hi] = merged
 
     # ------------------------------------------------------------------
@@ -192,10 +245,11 @@ class TwoLevelIndex:
             return None
         s = segs[i]
         if s.offset <= offset and s.end >= end:
-            # A read-only view: segment payloads are frozen once inserted
-            # (merges always build fresh buffers), so no defensive copy —
-            # and in-place mutation by a caller raises instead of silently
-            # corrupting the log (same contract as BlockStore views).
+            # A read-only view, valid until the next insert touching this
+            # block (contained updates fold into segment buffers in place —
+            # same contract as BlockStore views: derive synchronously or
+            # ``.copy()``).  In-place mutation by a caller raises instead
+            # of silently corrupting the log.
             view = s.data[offset - s.offset : end - s.offset]
             view.flags.writeable = False
             return view
@@ -207,9 +261,10 @@ class TwoLevelIndex:
         """All cached sub-ranges intersecting ``[offset, offset+length)``.
 
         Returns (absolute_offset, bytes) pairs — the read path overlays these
-        on disk data.  The byte arrays are views into frozen segment
-        payloads; callers copy *from* them (patching into their own read
-        buffers) and must not mutate them.
+        on disk data.  The byte arrays are views into live segment payloads
+        (valid until the next insert touching the block); callers copy
+        *from* them (patching into their own read buffers) and must not
+        mutate them.
         """
         segs = self._blocks.get(key)
         if not segs:

@@ -20,6 +20,8 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.sim.drawcursor import DrawCursor, choice_cdf
+
 PAGE = 4096
 
 
@@ -73,7 +75,16 @@ def generate_trace(
     n_requests: int,
     rng: np.random.Generator,
 ) -> List[TraceRecord]:
-    """Materialise ``n_requests`` update records for a file of ``file_size``."""
+    """Materialise ``n_requests`` update records for a file of ``file_size``.
+
+    Draws run through a chunked :class:`DrawCursor` — raw RNG output is
+    pre-drawn in vectorised blocks and replayed in the exact per-request
+    order the historical scalar calls consumed (``choice`` is one uniform
+    against a cumulative table, the cold jump a bounded integer), so the
+    records are bit-identical per seed while the per-request numpy
+    dispatch cost disappears.  The generator is left on the exact
+    consumption point afterwards (:meth:`DrawCursor.sync`).
+    """
     if file_size < PAGE:
         raise ValueError(f"file must be at least one page ({PAGE}B)")
     n_pages = file_size // PAGE
@@ -85,22 +96,29 @@ def generate_trace(
     weights = _zipf_weights(hot_pages, config.zipf_s)
 
     sizes = np.array([s for s, _ in config.size_dist])
-    size_p = np.array([p for _, p in config.size_dist])
+    size_cdf = choice_cdf([p for _, p in config.size_dist])
+    zipf_cdf = choice_cdf(weights)
+    run_prob = config.run_prob
+    cold_prob = config.cold_prob
 
+    # At most ~4 raw64 draws per request; one refill covers whole smoke
+    # traces and large traces amortise over a few thousand requests.
+    cur = DrawCursor(rng, chunk=min(8192, 4 * n_requests + 8))
     out: List[TraceRecord] = []
     prev_end = None
     for _ in range(n_requests):
-        size = int(rng.choice(sizes, p=size_p))
-        if prev_end is not None and rng.random() < config.run_prob:
+        size = int(sizes[cur.weighted_index(size_cdf)])
+        if prev_end is not None and cur.random() < run_prob:
             offset = prev_end  # spatial run continuation
-        elif rng.random() < config.cold_prob:
-            offset = int(rng.integers(0, n_pages)) * PAGE
+        elif cur.random() < cold_prob:
+            offset = cur.integers(n_pages) * PAGE
         else:
-            offset = int(hot[rng.choice(hot_pages, p=weights)]) * PAGE
+            offset = int(hot[cur.weighted_index(zipf_cdf)]) * PAGE
         if offset + size > file_size:
             offset = max(0, file_size - size)
         out.append(TraceRecord(offset, size))
         prev_end = offset + size
+    cur.sync()
     return out
 
 

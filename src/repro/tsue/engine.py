@@ -29,7 +29,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.gf.arithmetic import _MUL_TABLE
+from repro.ec.rs import parity_delta as _parity_delta
 from repro.logstruct.index import TwoLevelIndex
 from repro.logstruct.pool import LogPool
 from repro.logstruct.unit import ENTRY_HEADER_BYTES, LogUnit
@@ -453,7 +453,7 @@ class TSUEEngine:
             for p in range(m):
                 coeff = self.cluster.codec.coefficient(p, j)
                 pentries = [
-                    (off, _MUL_TABLE[coeff][d]) for off, d in deltas
+                    (off, _parity_delta(coeff, d)) for off, d in deltas
                 ]
                 calls.append(
                     self.sim.process(
@@ -488,7 +488,7 @@ class TSUEEngine:
             for j, segs in per_block.items():
                 coeff = self.cluster.codec.coefficient(p, j)
                 for s in segs:
-                    combined.insert(pkey, s.offset, _MUL_TABLE[coeff][s.data])
+                    combined.insert(pkey, s.offset, _parity_delta(coeff, s.data))
             entries = [(s.offset, s.data) for s in combined.segments(pkey)]
             if not entries:
                 continue

@@ -19,7 +19,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.gf.arithmetic import _MUL_TABLE
+from repro.ec.rs import parity_delta as _parity_delta
 from repro.logstruct.index import TwoLevelIndex
 from repro.sim.events import AllOf
 from repro.sim.resources import Resource
@@ -154,7 +154,7 @@ class CoRDStrategy(UpdateStrategy):
                     for j, segs in per_block.items():
                         coeff = self.cluster.codec.coefficient(p, j)
                         for s in segs:
-                            combined.insert(pkey, s.offset, _MUL_TABLE[coeff][s.data])
+                            combined.insert(pkey, s.offset, _parity_delta(coeff, s.data))
                     entries = [(s.offset, s.data) for s in combined.segments(pkey)]
                     if not entries:
                         continue

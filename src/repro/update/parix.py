@@ -41,8 +41,12 @@ class PARIXStrategy(UpdateStrategy):
         # uncovered bytes of the next one.
         self.seen: Dict[BlockKey, IntervalSet] = {}
         # Parity-OSD side: per data-block original and latest data images.
-        self.orig_index = TwoLevelIndex("overwrite")
-        self.latest_index = TwoLevelIndex("overwrite")
+        # NB: no in-place merge folding — PARIX ships one original/latest
+        # payload array to every parity OSD and refresh-inserts contained
+        # ranges, so these indexes do not exclusively own their buffers
+        # (see TwoLevelIndex.inplace_merge).
+        self.orig_index = TwoLevelIndex("overwrite", inplace_merge=False)
+        self.latest_index = TwoLevelIndex("overwrite", inplace_merge=False)
         self.log_entries: Dict[BlockKey, List[Tuple[int, int]]] = {}
         self.log_bytes = 0
         self.orig_bytes = 0  # live original images (survive compaction)
@@ -341,8 +345,12 @@ class PARIXStrategy(UpdateStrategy):
         originals are re-shipped and speculation restarts cleanly.
         """
         self.seen.clear()
-        self.orig_index = TwoLevelIndex("overwrite")
-        self.latest_index = TwoLevelIndex("overwrite")
+        # NB: no in-place merge folding — PARIX ships one original/latest
+        # payload array to every parity OSD and refresh-inserts contained
+        # ranges, so these indexes do not exclusively own their buffers
+        # (see TwoLevelIndex.inplace_merge).
+        self.orig_index = TwoLevelIndex("overwrite", inplace_merge=False)
+        self.latest_index = TwoLevelIndex("overwrite", inplace_merge=False)
         self.log_entries.clear()
         self.log_bytes = 0
         self.orig_bytes = 0

@@ -43,6 +43,7 @@ from repro.workload.scenarios import (
     register_scenario,
     results_to_json,
     run_all_scenarios,
+    run_bench_cells,
     run_method_sweep,
     run_scenario,
     scenario_config,
@@ -68,6 +69,7 @@ __all__ = [
     "register_scenario",
     "results_to_json",
     "run_all_scenarios",
+    "run_bench_cells",
     "run_method_sweep",
     "run_scenario",
     "scenario_config",

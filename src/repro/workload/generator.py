@@ -25,6 +25,7 @@ import numpy as np
 # NB: no repro.traces imports here — traces.replay builds on this module,
 # so records are duck-typed (anything with .offset and .size works).
 from repro.sim import AllOf, Resource
+from repro.sim.drawcursor import DrawCursor
 from repro.workload.arrival import ArrivalProcess, ClosedLoop
 
 
@@ -86,23 +87,38 @@ class OpenLoopGenerator:
         self.peak_inflight = 0
         self._inflight = 0
         self._cursors = [0] * len(self.tenants)
+        # Per-op draws run through a direct-mode DrawCursor: bit-identical
+        # to the historical scalar numpy calls (the property tests pin
+        # this), but the payload block becomes one bulk raw pull instead of
+        # a per-byte loop.  Direct mode holds no lookahead, so the arrival
+        # process's interleaved draws on the same ``rng`` (ziggurat
+        # exponentials consume whole raw64s) stay on the exact stream
+        # position.  Per-op dict/attr lookups are hoisted into flat tables:
+        # ``(inode, [(offset, size), ...], n_records)`` per tenant.
+        self._draw = DrawCursor(rng)
+        self._n_tenants = len(self.tenants)
+        self._read_fraction = self.spec.read_fraction
+        self._op_streams = [
+            (inode, [(r.offset, r.size) for r in records], len(records))
+            for inode, records in self.tenants
+        ]
 
     # ------------------------------------------------------------------
     def _next_op(self):
         """Draw the next operation; RNG use is strictly in issue order."""
-        if len(self.tenants) > 1:
-            ti = int(self.rng.integers(0, len(self.tenants)))
+        draw = self._draw
+        if self._n_tenants > 1:
+            ti = draw.integers(self._n_tenants)
         else:
             ti = 0
-        inode, records = self.tenants[ti]
-        rec = records[self._cursors[ti] % len(records)]
-        self._cursors[ti] += 1
-        if self.spec.read_fraction > 0 and (
-            float(self.rng.random()) < self.spec.read_fraction
-        ):
-            return ("read", inode, rec.offset, rec.size)
-        payload = self.rng.integers(0, 256, rec.size, dtype=np.uint8)
-        return ("update", inode, rec.offset, payload)
+        inode, recs, n_recs = self._op_streams[ti]
+        c = self._cursors[ti]
+        offset, size = recs[c % n_recs]
+        self._cursors[ti] = c + 1
+        rf = self._read_fraction
+        if rf > 0 and draw.random() < rf:
+            return ("read", inode, offset, size)
+        return ("update", inode, offset, draw.payload(size))
 
     # ------------------------------------------------------------------
     def run(self):
@@ -135,6 +151,10 @@ class OpenLoopGenerator:
             op = self._next_op()
             self.issued += 1
             procs.append(sim.process(self._issue(op, slots)))
+        # All draws are done: land the generator on the exact stream
+        # position (32-bit half-buffer included) in case a caller resumes
+        # scalar numpy draws on it.
+        self._draw.sync()
         if procs:
             yield AllOf(sim, procs)
         return self.completed

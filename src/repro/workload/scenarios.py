@@ -173,6 +173,7 @@ def _hot_stripe_records(cfg, rng):
     Offsets are page-aligned within the chosen stripe and sizes small, so
     same-block overlap (the race the locks close) is frequent too.
     """
+    from repro.sim.drawcursor import DrawCursor, choice_cdf
     from repro.traces.synth import PAGE, TraceRecord, _zipf_weights
 
     span = cfg.k * cfg.block_size
@@ -182,12 +183,18 @@ def _hot_stripe_records(cfg, rng):
     # A fixed shuffle decouples popularity rank from stripe number, so the
     # hot stripes land on different OSD rings per seed.
     order = list(rng.permutation(n_stripes))
+    # Chunked replay of the historical scalar draw order (two choice
+    # uniforms + one bounded integer per record), bit-identical per seed.
+    stripe_cdf = choice_cdf(weights)
+    size_cdf = choice_cdf([0.4, 0.6])
+    cur = DrawCursor(rng, chunk=min(8192, 3 * cfg.updates_per_client + 8))
     out = []
     for _ in range(cfg.updates_per_client):
-        stripe = int(order[int(rng.choice(n_stripes, p=weights))])
-        page = int(rng.integers(0, pages_per_stripe))
-        size = int(rng.choice([512, 4096], p=[0.4, 0.6]))
+        stripe = int(order[cur.weighted_index(stripe_cdf)])
+        page = cur.integers(pages_per_stripe)
+        size = (512, 4096)[cur.weighted_index(size_cdf)]
         out.append(TraceRecord(stripe * span + page * PAGE, size))
+    cur.sync()
     return out
 
 
@@ -711,6 +718,49 @@ def run_all_scenarios(
     elif not names:
         raise ValueError("empty scenario selection (pass None for all)")
     return [run_scenario(n, **kwargs) for n in names]
+
+
+def _bench_row_worker(args):
+    """Top-level process-pool worker: one ``(scenario, method)`` cell.
+
+    Importable at module scope so it pickles under any multiprocessing
+    start method; returns the cell key with the result so the parent can
+    merge by key, independent of completion order.
+    """
+    name, method, kwargs = args
+    return name, method, run_scenario(name, method=method, **kwargs)
+
+
+def run_bench_cells(
+    rows: Sequence[Tuple[str, str]], jobs: int = 1, **kwargs
+) -> Dict[Tuple[str, str], ScenarioResult]:
+    """Run unique ``(scenario, method)`` cells, optionally over a pool.
+
+    The parallel bench orchestrator: every cell is an isolated
+    :class:`Simulator` and a pure function of its arguments, so cells
+    fan out over a ``multiprocessing`` pool with no shared state.  Rows
+    are de-duplicated (a registry row that reappears in a sweep runs
+    once), and the returned mapping is keyed by cell, so callers
+    assemble output sections in canonical order regardless of worker
+    completion order — ``--jobs N`` output is byte-identical to the
+    serial reference path.
+
+    ``jobs <= 1`` runs in-process (no pool, no pickling) and remains the
+    reference implementation.
+    """
+    unique = list(dict.fromkeys((name, method) for name, method in rows))
+    if jobs <= 1:
+        return {
+            (name, method): run_scenario(name, method=method, **kwargs)
+            for name, method in unique
+        }
+    import multiprocessing as mp
+
+    work = [(name, method, kwargs) for name, method in unique]
+    n_procs = min(jobs, len(work)) or 1
+    with mp.get_context().Pool(processes=n_procs) as pool:
+        done = pool.map(_bench_row_worker, work, chunksize=1)
+    return {(name, method): res for name, method, res in done}
 
 
 def run_method_sweep(

@@ -1,0 +1,93 @@
+"""The parallel bench orchestrator: ``--jobs N`` must be invisible.
+
+Every scenario x method cell is an isolated simulator and a pure function
+of its arguments, so fanning the rows over a process pool may change wall
+time only — the merged JSON payload (minus the machine-dependent ``perf``
+section) must be byte-identical to the serial reference path, with row
+order independent of worker completion order.  Also covers the atomic
+``--json`` write and the --jobs flag validation.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+
+
+def _bench(tmp_path, tag, jobs, extra=()):
+    out = tmp_path / f"bench-{tag}.json"
+    rc = cli.main(
+        [
+            "bench",
+            "--clients", "2",
+            "--requests", "20",
+            "--scenarios", "steady",
+            "--methods", "tsue", "fl",
+            "--recovery-scenario", "none",
+            "--scale-up-scenario", "none",
+            "--jobs", str(jobs),
+            "--json", str(out),
+            *extra,
+        ]
+    )
+    assert rc == 0
+    return json.loads(out.read_text())
+
+
+def _sans_perf(payload):
+    return {k: v for k, v in payload.items() if k != "perf"}
+
+
+def test_jobs_output_identical_to_serial(tmp_path):
+    serial = _bench(tmp_path, "serial", 1)
+    pooled = _bench(tmp_path, "pooled", 3)
+    assert _sans_perf(pooled) == _sans_perf(serial)
+    # Both runs carry a perf section for every simulated registry row.
+    assert set(pooled["perf"]) == set(serial["perf"])
+
+
+def test_jobs_check_baseline_round_trip(tmp_path):
+    """A --jobs N run passes --check-baseline against a serial baseline."""
+    out = tmp_path / "base.json"
+    args = [
+        "bench", "--clients", "2", "--requests", "15",
+        "--scenarios", "steady", "--methods", "tsue",
+        "--recovery-scenario", "none", "--scale-up-scenario", "none",
+        "--json", str(out),
+    ]
+    assert cli.main(args) == 0
+    assert cli.main(args + ["--jobs", "2", "--check-baseline", str(out)]) == 0
+
+
+def test_jobs_flag_validation(tmp_path, capsys):
+    base = ["bench", "--scenarios", "steady", "--methods"]
+    assert cli.main(base + ["--jobs", "0"]) == 2
+    assert cli.main(base + ["--jobs", "2", "--profile",
+                            str(tmp_path / "p.txt")]) == 2
+    err = capsys.readouterr().err
+    assert "--jobs" in err and "--profile" in err
+
+
+def test_json_write_is_atomic(tmp_path, monkeypatch):
+    """A crash mid-serialisation must not clobber the existing baseline."""
+    out = tmp_path / "bench.json"
+    out.write_text('{"sentinel": true}\n')
+
+    def boom(*a, **k):
+        raise RuntimeError("simulated crash mid-dump")
+
+    monkeypatch.setattr(json, "dump", boom)
+    with pytest.raises(RuntimeError, match="mid-dump"):
+        cli.main(
+            [
+                "bench", "--clients", "2", "--requests", "5",
+                "--scenarios", "steady", "--methods",
+                "--recovery-scenario", "none", "--scale-up-scenario", "none",
+                "--json", str(out),
+            ]
+        )
+    monkeypatch.undo()
+    # Old content intact, no temp litter.
+    assert json.loads(out.read_text()) == {"sentinel": True}
+    assert list(tmp_path.glob("*.tmp")) == []

@@ -202,3 +202,63 @@ def test_lookup_consistent_with_segments(writes, off, length):
             assert not any(
                 s.offset <= off and s.end >= off + length for s in segs
             )
+
+
+def test_inplace_and_rebuild_merges_agree():
+    """The contained-update fast path is unobservable in index content."""
+    rng = np.random.default_rng(42)
+    for policy in ("overwrite", "xor"):
+        fast = TwoLevelIndex(policy)
+        slow = TwoLevelIndex(policy, inplace_merge=False)
+        for _ in range(300):
+            off = int(rng.integers(0, 64))
+            size = int(rng.integers(1, 32))
+            data = rng.integers(0, 256, size, dtype=np.uint8)
+            fast.insert("b", off, data.copy())
+            slow.insert("b", off, data.copy())
+        fs, ss = fast.segments("b"), slow.segments("b")
+        assert [(s.offset, s.data.tobytes()) for s in fs] == \
+            [(s.offset, s.data.tobytes()) for s in ss]
+
+
+def test_inplace_merge_opt_out_never_mutates_handed_arrays():
+    """PARIX's requirement: without inplace_merge, handed-over payloads
+    keep their bytes even when later contained updates land on them —
+    the same array object may be owned by another OSD's index."""
+    shared = arr(1, 2, 3, 4, 5, 6, 7, 8)
+    a = TwoLevelIndex("overwrite", inplace_merge=False)
+    b = TwoLevelIndex("overwrite", inplace_merge=False)
+    a.insert("k", 0, shared)
+    b.insert("k", 0, shared)
+    a.insert("k", 2, arr(99, 99))  # contained update in index a only
+    assert np.array_equal(shared, arr(1, 2, 3, 4, 5, 6, 7, 8))
+    assert np.array_equal(b.lookup("k", 0, 8), shared)
+    assert np.array_equal(a.lookup("k", 0, 8), arr(1, 2, 99, 99, 5, 6, 7, 8))
+
+
+def test_inplace_fold_copies_read_only_payloads_first():
+    """Read-only segment payloads (zero-copy store views) are snapshotted
+    by the copy-on-first-write fold; content correct, source untouched."""
+    base = arr(1, 2, 3, 4)
+    base.flags.writeable = False
+    idx = TwoLevelIndex("xor")
+    idx.insert("k", 0, base)
+    idx.insert("k", 1, arr(0xFF, 0xFF))
+    assert np.array_equal(idx.lookup("k", 0, 4), arr(1, 2 ^ 0xFF, 3 ^ 0xFF, 4))
+    assert np.array_equal(base, arr(1, 2, 3, 4))
+
+
+def test_inplace_fold_never_mutates_client_retained_payloads():
+    """The retry-idempotency invariant: a client may re-send the exact
+    payload array it handed to a log-structured append (crash retry), so
+    contained folds must never write into it — the first fold snapshots,
+    later folds hit the index-private copy only."""
+    retained = arr(10, 11, 12, 13, 14, 15)
+    idx = TwoLevelIndex("overwrite")
+    idx.insert("k", 0, retained)
+    idx.insert("k", 2, arr(99, 99))        # first contained fold: copies
+    idx.insert("k", 4, arr(77))            # second fold: in place, private
+    assert np.array_equal(retained, arr(10, 11, 12, 13, 14, 15))
+    assert np.array_equal(
+        idx.lookup("k", 0, 6), arr(10, 11, 99, 99, 77, 15)
+    )
