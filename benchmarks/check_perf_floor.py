@@ -36,6 +36,13 @@ def main(argv=None) -> int:
     ap.add_argument("--rows", nargs="*", default=None, metavar="NAME",
                     help="restrict the check to these perf rows "
                          "(default: every row present in both files)")
+    ap.add_argument("--metric", choices=["events_per_sec",
+                                         "events_per_cpu_sec"],
+                    default="events_per_sec",
+                    help="throughput metric to floor-check; the CPU-time "
+                         "variant is steadier on shared/1-core runners "
+                         "where wall time includes preemption "
+                         "(default: %(default)s)")
     args = ap.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         print(f"tolerance must be in [0, 1), got {args.tolerance}",
@@ -62,23 +69,34 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
 
+    metric = args.metric
+    lacking = [r for r in shared
+               if metric not in baseline[r] or metric not in fresh[r]]
+    if lacking:
+        # A baseline written before the metric existed cannot provide a
+        # floor for it; failing loudly beats silently checking nothing.
+        print(f"metric {metric!r} missing from rows {lacking}; regenerate "
+              f"the baseline (repro bench --json) or use --metric "
+              f"events_per_sec", file=sys.stderr)
+        return 2
+
     failures = []
     for row in shared:
-        floor = baseline[row]["events_per_sec"] * (1.0 - args.tolerance)
-        got = fresh[row]["events_per_sec"]
+        floor = baseline[row][metric] * (1.0 - args.tolerance)
+        got = fresh[row][metric]
         status = "ok" if got >= floor else "REGRESSED"
         print(f"{row:24s} {got:>12,.0f} ev/s (floor {floor:>12,.0f}, "
-              f"committed {baseline[row]['events_per_sec']:>12,.0f}) "
+              f"committed {baseline[row][metric]:>12,.0f}) "
               f"{status}")
         if got < floor:
             failures.append(row)
     if failures:
-        print(f"PERF FLOOR FAILED for {failures}: events/sec fell more "
+        print(f"PERF FLOOR FAILED for {failures}: {metric} fell more "
               f"than {args.tolerance:.0%} below the committed baseline",
               file=sys.stderr)
         return 1
     print(f"perf floor ok over {len(shared)} row(s) "
-          f"(tolerance {args.tolerance:.0%})")
+          f"(metric {metric}, tolerance {args.tolerance:.0%})")
     return 0
 
 

@@ -1,0 +1,62 @@
+"""Finding reporters: human text and machine JSON.
+
+Both render the same total-ordered finding list, so ``--format json`` is
+exactly the text report's content with stable keys — CI archives the JSON,
+humans read the text, neither can disagree with the other.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.core import Finding
+
+
+def _counts_by_rule(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(findings: Sequence[Finding], show_suppressed: bool = False) -> str:
+    """The human report: location, rule, message, then a fix-it line."""
+    active = [f for f in findings if not f.suppressed]
+    shown: List[Finding] = list(findings) if show_suppressed else active
+    out: List[str] = []
+    for f in shown:
+        tag = " (suppressed)" if f.suppressed else ""
+        out.append(f"{f.path}:{f.line}:{f.col}: [{f.rule}]{tag} {f.message}")
+        if f.fixit:
+            out.append(f"    fix: {f.fixit}")
+        if f.suppressed and f.suppress_reason:
+            out.append(f"    allowed because: {f.suppress_reason}")
+    n_sup = len(findings) - len(active)
+    summary = (
+        f"{len(active)} finding(s), {n_sup} suppressed"
+        if findings
+        else "clean: no findings"
+    )
+    if active:
+        per_rule = ", ".join(
+            f"{rule}={n}" for rule, n in _counts_by_rule(active).items()
+        )
+        summary += f" [{per_rule}]"
+    out.append(summary)
+    return "\n".join(out)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Stable-keyed JSON: findings plus a per-rule summary."""
+    active = [f for f in findings if not f.suppressed]
+    payload = {
+        "findings": [f.to_dict() for f in findings],
+        "summary": {
+            "total": len(findings),
+            "active": len(active),
+            "suppressed": len(findings) - len(active),
+            "by_rule": _counts_by_rule(active),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

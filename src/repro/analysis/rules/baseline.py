@@ -1,0 +1,136 @@
+"""Baseline hygiene rules: the pyflakes-style floor.
+
+Not engine invariants — just the minimum static cleanliness the rest of
+the pass builds on: imports that bind names nothing reads, and statements
+that can never execute.  Dead imports matter more here than in most
+trees: module import cost is on the ``repro bench --jobs`` worker-spawn
+path, and an unused heavyweight import (numpy pulled into a leaf module)
+is pure fork latency.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.analysis.core import FileContext, Finding, Rule
+
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+def _type_checking_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """Line spans of ``if TYPE_CHECKING:`` bodies (imports there are for
+    annotations, often only referenced from string-typed hints)."""
+    spans = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If):
+            test = node.test
+            name = None
+            if isinstance(test, ast.Name):
+                name = test.id
+            elif isinstance(test, ast.Attribute):
+                name = test.attr
+            if name == "TYPE_CHECKING":
+                end = max(
+                    (n.end_lineno or n.lineno)
+                    for n in ast.walk(node)
+                    if hasattr(n, "lineno")
+                )
+                spans.append((node.lineno, end))
+    return spans
+
+
+class DeadImportRule(Rule):
+    id = "dead-import"
+    family = "baseline"
+    description = "an import that binds a name no code in the file reads"
+    fixit = "delete the import (or the whole statement if fully unused)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if (ctx.config.dead_import_skip_init
+                and ctx.posix_path.endswith("__init__.py")):
+            return  # __init__.py imports are re-exports by convention
+        tc_spans = _type_checking_spans(ctx.tree)
+        imports: List[Tuple[str, ast.AST, str]] = []  # (bound, node, shown)
+        import_nodes: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                import_nodes.add(id(node))
+                for a in node.names:
+                    bound = a.asname or a.name.split(".")[0]
+                    imports.append((bound, node, a.name))
+            elif isinstance(node, ast.ImportFrom):
+                import_nodes.add(id(node))
+                if node.module == "__future__":
+                    continue
+                for a in node.names:
+                    if a.name == "*":
+                        continue
+                    bound = a.asname or a.name
+                    shown = f"{node.module or '.'}.{a.name}"
+                    imports.append((bound, node, shown))
+
+        used: Set[str] = set()
+        exported: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif (isinstance(node, ast.Assign)
+                  and any(isinstance(t, ast.Name) and t.id == "__all__"
+                          for t in node.targets)):
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Constant) and isinstance(
+                        sub.value, str
+                    ):
+                        exported.add(sub.value)
+
+        for bound, node, shown in imports:
+            if bound in used or bound in exported:
+                continue
+            if any(a <= node.lineno <= b for a, b in tc_spans):
+                continue  # type-checking-only import, used in string hints
+            yield self.finding(
+                ctx, node,
+                f"`{shown}` is imported as `{bound}` but never used",
+            )
+
+
+class UnreachableCodeRule(Rule):
+    id = "unreachable-code"
+    family = "baseline"
+    description = ("statements after an unconditional return/raise/break/"
+                   "continue can never execute")
+    fixit = ("delete the dead statements (a bare `yield` after `raise` — "
+             "the make-this-a-generator idiom — is exempt)")
+
+    def _block(self, ctx: FileContext, body: List[ast.stmt]) -> Iterator[Finding]:
+        terminated = False
+        for stmt in body:
+            if terminated:
+                # Exemptions: the generator-marking `yield` idiom, and
+                # anything explicitly pragma'd off coverage.
+                is_bare_yield = (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, (ast.Yield, ast.YieldFrom))
+                )
+                line = ctx.lines[stmt.lineno - 1] if (
+                    0 < stmt.lineno <= len(ctx.lines)
+                ) else ""
+                if not is_bare_yield and "pragma: no cover" not in line:
+                    yield self.finding(
+                        ctx, stmt,
+                        "unreachable: follows an unconditional "
+                        "return/raise/break/continue in the same block",
+                    )
+                break  # one finding per block is enough
+            if isinstance(stmt, _TERMINATORS):
+                terminated = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            for field in ("body", "orelse", "finalbody"):
+                body = getattr(node, field, None)
+                if isinstance(body, list) and body and isinstance(
+                    body[0], ast.stmt
+                ):
+                    yield from self._block(ctx, body)

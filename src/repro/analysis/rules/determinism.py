@@ -1,0 +1,169 @@
+"""Determinism rules.
+
+The invariant: every simulated-output row in ``BENCH_scenarios.json`` is a
+pure function of ``(code, seed)`` — ``repro bench --check-baseline`` diffs
+them bit-for-bit across hosts and runs.  Anything that injects wall-clock
+time, ambient entropy, or hash/readdir ordering into a code path that
+feeds the event heap, an RNG cursor, or a result row silently breaks that
+gate in a way that only shows up *after* a full bench run.  These rules
+reject the constructs at review time instead.
+
+Measurement code (the machine-local ``perf`` section, excluded from every
+determinism gate by design) legitimately reads clocks — those sites carry
+explicit suppressions whose reasons say exactly that.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import FileContext, Finding, Rule
+
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.thread_time", "time.thread_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+_ENTROPY_CALLS = frozenset({
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+})
+
+# Seedable constructors: fine with an explicit seed argument, ambient
+# entropy (and therefore flagged) when called with no arguments.
+_SEEDABLE = frozenset({
+    "random.Random", "random.SystemRandom",
+    "numpy.random.default_rng", "numpy.random.SeedSequence",
+    "numpy.random.Generator", "numpy.random.PCG64", "numpy.random.MT19937",
+    "numpy.random.Philox", "numpy.random.RandomState",
+})
+
+# Filesystem enumerations whose order is readdir-dependent.
+_FS_ORDER_CALLS = frozenset({
+    "os.listdir", "os.scandir", "os.walk",
+    "glob.glob", "glob.iglob",
+})
+
+
+class WallClockRule(Rule):
+    id = "det-wallclock"
+    family = "determinism"
+    description = ("wall-clock reads (time.*, datetime.now) in simulation "
+                   "code break bit-identical bench rows")
+    fixit = ("use virtual time (`sim.now`) inside the simulation; if this "
+             "is machine-local measurement for the perf section, suppress "
+             "with a reason saying so")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.canonical_call(node)
+            if name in _WALLCLOCK_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock call `{name}()` — nondeterministic across "
+                    "runs/hosts, must not feed simulated outputs",
+                )
+
+
+class EntropyRule(Rule):
+    id = "det-entropy"
+    family = "determinism"
+    description = ("ambient entropy (random module, os.urandom, uuid4, "
+                   "unseeded generators) breaks seed-reproducibility")
+    fixit = ("draw from the seeded per-purpose stream "
+             "(`cluster.rng.get(name)` / `DrawCursor`); never the global "
+             "`random` module or an unseeded constructor")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.canonical_call(node)
+            if name is None:
+                continue
+            if name in _ENTROPY_CALLS or name.startswith("secrets."):
+                yield self.finding(
+                    ctx, node,
+                    f"entropy source `{name}()` — unreproducible under a "
+                    "fixed seed",
+                )
+            elif name in _SEEDABLE:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx, node,
+                        f"`{name}()` called without a seed — seeds from "
+                        "ambient OS entropy",
+                        fixit="pass an explicit seed / SeedSequence derived "
+                              "from the experiment seed",
+                    )
+            elif (name.startswith("random.")
+                  or name.startswith("numpy.random.")):
+                # Module-level convenience functions share hidden global
+                # state seeded from the environment.
+                yield self.finding(
+                    ctx, node,
+                    f"global-state RNG call `{name}()` — shared hidden "
+                    "stream, not derived from the experiment seed",
+                )
+
+
+def _is_unordered_expr(ctx: FileContext, node: ast.AST) -> Optional[str]:
+    """A human description if ``node`` evaluates in nondeterministic order."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        name = ctx.canonical_call(node)
+        if name in ("set", "frozenset"):
+            return f"`{name}(...)`"
+        if name in _FS_ORDER_CALLS:
+            return f"`{name}(...)` (readdir order)"
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        # Set algebra: flag when either side is itself set-ish.
+        if (_is_unordered_expr(ctx, node.left)
+                or _is_unordered_expr(ctx, node.right)):
+            return "a set-algebra expression"
+    return None
+
+
+class UnorderedIterationRule(Rule):
+    id = "det-set-order"
+    family = "determinism"
+    description = ("iterating a set (or readdir listing) visits elements in "
+                   "hash/OS order — differs across processes and hosts")
+    fixit = "wrap the iterable in `sorted(...)` to pin a total order"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                # Materialising an unordered collection into a sequence
+                # bakes the nondeterministic order into data.
+                name = ctx.canonical_call(node)
+                if name in ("list", "tuple", "enumerate") and node.args:
+                    iters.append(node.args[0])
+            for it in iters:
+                what = _is_unordered_expr(ctx, it)
+                if what:
+                    yield self.finding(
+                        ctx, it,
+                        f"iteration over {what} — element order is "
+                        "hash/OS-dependent, not reproducible",
+                    )

@@ -1,0 +1,156 @@
+"""Hot-path hygiene rules for the hand-optimised kernel modules.
+
+The invariant (PR 4): ``sim/core.py`` and ``sim/events.py`` are the inner
+loop of every experiment — millions of kernel transitions per bench row —
+and were hand-tuned to make each transition attribute stores and integer
+compares only.  The single biggest historical regression source was
+incidental allocation creeping back in: an f-string debug name in an
+event constructor once dominated ``Timeout`` construction cost.  These
+rules freeze that discipline: no f-strings / ``str.format`` / ``%``
+formatting, no closures, no comprehensions inside the hot modules'
+functions.
+
+Cold subtrees are exempt by construction rather than by suppression:
+anything inside a ``raise`` statement, inside the arguments of a
+``fail(...)`` / ``_crash(...)`` call (both mark a process/simulation
+dying), or inside ``__repr__`` (debug aid) never runs on the steady-state
+path.  Everything else needs a written suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.analysis.core import FileContext, Finding, Rule
+
+_COLD_CALL_TAILS = ("fail", "_crash")
+
+
+def _hot_functions(ctx: FileContext) -> Iterator[ast.FunctionDef]:
+    """Top-level and method function defs in a hot module."""
+    if not ctx.path_endswith(ctx.config.hot_module_suffixes):
+        return
+    stack: List[ast.AST] = [ctx.tree]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if child.name != "__repr__":
+                    yield child
+                # Do not descend: nested defs are reported as closures by
+                # HotPathClosureRule, not re-scanned as hot roots.
+            elif isinstance(child, (ast.ClassDef, ast.If, ast.Try)):
+                stack.append(child)
+
+
+def _walk_hot(func: ast.FunctionDef) -> Iterator[Tuple[ast.AST, bool]]:
+    """(node, is_cold) over ``func``'s body, cold once inside an exempt
+    subtree (raise statements, fail/_crash call arguments)."""
+
+    def visit(node: ast.AST, cold: bool) -> Iterator[Tuple[ast.AST, bool]]:
+        for child in ast.iter_child_nodes(node):
+            child_cold = cold or isinstance(child, ast.Raise)
+            if (not child_cold and isinstance(child, ast.Call)):
+                name = child.func
+                tail = name.attr if isinstance(name, ast.Attribute) else (
+                    name.id if isinstance(name, ast.Name) else ""
+                )
+                if tail in _COLD_CALL_TAILS:
+                    # The callee reference itself stays hot; its arguments
+                    # (the exception being built) are the cold part.
+                    yield child, child_cold
+                    for arg in list(child.args) + [
+                        kw.value for kw in child.keywords
+                    ]:
+                        yield arg, True
+                        yield from visit(arg, True)
+                    continue
+            yield child, child_cold
+            yield from visit(child, child_cold)
+
+    yield from visit(func, False)
+
+
+class HotPathFStringRule(Rule):
+    id = "hot-fstring"
+    family = "hotpath"
+    description = ("string formatting in a kernel hot function allocates "
+                   "per transition (the historical Timeout-name regression)")
+    fixit = ("drop the formatted string from the hot path (static str or "
+             "no name at all); error paths may build messages inside "
+             "`raise`/`fail(...)` where this rule does not look")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in _hot_functions(ctx):
+            for node, cold in _walk_hot(func):
+                if cold:
+                    continue
+                if isinstance(node, ast.JoinedStr):
+                    yield self.finding(
+                        ctx, node,
+                        f"f-string in hot function `{func.name}`",
+                    )
+                elif (isinstance(node, ast.Call)
+                      and isinstance(node.func, ast.Attribute)
+                      and node.func.attr == "format"
+                      and isinstance(node.func.value, ast.Constant)
+                      and isinstance(node.func.value.value, str)):
+                    yield self.finding(
+                        ctx, node,
+                        f"str.format() in hot function `{func.name}`",
+                    )
+                elif (isinstance(node, ast.BinOp)
+                      and isinstance(node.op, ast.Mod)
+                      and isinstance(node.left, ast.Constant)
+                      and isinstance(node.left.value, str)):
+                    yield self.finding(
+                        ctx, node,
+                        f"%-formatting in hot function `{func.name}`",
+                    )
+
+
+class HotPathClosureRule(Rule):
+    id = "hot-closure"
+    family = "hotpath"
+    description = ("a lambda/nested def in a kernel hot function allocates "
+                   "a closure per call and defeats the slotted-record "
+                   "design (_Wake/_SleepWake replaced exactly these)")
+    fixit = ("hoist to a module-level function or a slotted record class "
+             "with a bound-method callback")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in _hot_functions(ctx):
+            for node, cold in _walk_hot(func):
+                if cold:
+                    continue
+                if isinstance(node, (ast.Lambda, ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    kind = "lambda" if isinstance(node, ast.Lambda) else "def"
+                    yield self.finding(
+                        ctx, node,
+                        f"closure ({kind}) in hot function `{func.name}`",
+                    )
+
+
+class HotPathAllocRule(Rule):
+    id = "hot-alloc"
+    family = "hotpath"
+    description = ("a comprehension/generator expression in a kernel hot "
+                   "function allocates a fresh frame and container per "
+                   "transition")
+    fixit = ("replace with an explicit loop over a preallocated structure, "
+             "or suppress with a reason if the function provably runs "
+             "once per completion rather than per transition")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in _hot_functions(ctx):
+            for node, cold in _walk_hot(func):
+                if cold:
+                    continue
+                if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                     ast.GeneratorExp)):
+                    yield self.finding(
+                        ctx, node,
+                        f"comprehension in hot function `{func.name}`",
+                    )

@@ -1,0 +1,186 @@
+"""Lock-discipline rules for the per-stripe update serialization contract.
+
+The invariant (PR 2): in every ``UpdateStrategy`` whose class declares
+``serializes_stripes = True``, the data-block read-modify-write — and for
+PARIX, the whole speculative protocol — must run under
+``serialize_stripe``, exactly once.  The contract has three static
+failure modes:
+
+* an RMW primitive called *outside* any ``serialize_stripe`` wrapper
+  races pipelined same-stripe updates (the parity-inconsistency bug the
+  locks were introduced to close);
+* a *nested* ``serialize_stripe`` on the same stripe self-deadlocks —
+  today that only trips ``KeyedLock``'s runtime reentrancy check after a
+  full scenario run; here it is rejected at review time;
+* a blocking yield point (RPC, sleep, combinator wait) *inside* the
+  critical section stretches the lock across simulated time other
+  updates could have used — legal only when the protocol genuinely
+  requires it (PARIX's original-ship), which is what suppression reasons
+  are for.
+
+Lexical conventions the rules understand: the generator passed to
+``serialize_stripe(...)`` is a locked region, and so is any method whose
+name ends in ``_locked`` (the PARIX convention for bodies that run under
+the wrapper).  Drain/recycle methods (``drain``, ``_recycle*``) are
+exempt from the unserialized-RMW rule: they run behind the harness's
+post-workload barrier or their strategy's own exclusion lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.analysis.core import FileContext, Finding, Rule
+
+# Stripe-state mutation primitives that must be lock-wrapped.
+_RMW_CALLS = ("rmw_delta", "write_range")
+
+# Yield points that block simulated time while the stripe lock is held.
+# Device I/O (store/device read-write) is deliberately absent: charging
+# device time inside the critical section is the modelled cost of RMW.
+_BLOCKING_CALLS = ("rpc", "rpc_with_retry", "timeout", "sleep", "event",
+                   "request", "acquire", "AllOf", "AnyOf", "At")
+
+
+def _call_tail(ctx: FileContext, call: ast.Call) -> str:
+    """Last component of the called dotted name ('' when unresolvable)."""
+    name = ctx.dotted(call.func)
+    return name.rsplit(".", 1)[-1] if name else ""
+
+
+def _serializing_classes(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    """Classes that declare ``serializes_stripes = True`` in their body."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if (isinstance(stmt, ast.Assign)
+                    and any(isinstance(t, ast.Name)
+                            and t.id == "serializes_stripes"
+                            for t in stmt.targets)
+                    and isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is True):
+                yield node
+                break
+
+
+def _serialize_calls(root: ast.AST, ctx: FileContext) -> List[ast.Call]:
+    return [
+        n for n in ast.walk(root)
+        if isinstance(n, ast.Call) and _call_tail(ctx, n) == "serialize_stripe"
+    ]
+
+
+def _locked_subtrees(
+    func: ast.FunctionDef, ctx: FileContext
+) -> List[Tuple[ast.AST, str]]:
+    """(root, description) for every locked lexical region in ``func``."""
+    regions: List[Tuple[ast.AST, str]] = []
+    if func.name.endswith("_locked"):
+        regions.append((func, f"method `{func.name}` (runs under the "
+                              "stripe lock by naming convention)"))
+        return regions
+    for call in _serialize_calls(func, ctx):
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            regions.append((arg, "the body passed to `serialize_stripe`"))
+    return regions
+
+
+def _methods(cls: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+class UnserializedRMWRule(Rule):
+    id = "lock-rmw-unserialized"
+    family = "locks"
+    description = ("stripe-state RMW outside serialize_stripe in a "
+                   "serializes_stripes strategy races pipelined updates")
+    fixit = ("route the call through `self.serialize_stripe(key, body)`, "
+             "or move it into a `*_locked` helper invoked under the "
+             "wrapper")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in _serializing_classes(ctx.tree):
+            for func in _methods(cls):
+                if (func.name.endswith("_locked") or func.name == "drain"
+                        or func.name.startswith("_recycle")):
+                    continue
+                wrapped: Set[int] = set()
+                for call in _serialize_calls(func, ctx):
+                    for arg in list(call.args) + [
+                        kw.value for kw in call.keywords
+                    ]:
+                        wrapped.update(id(n) for n in ast.walk(arg))
+                for node in ast.walk(func):
+                    if (isinstance(node, ast.Call)
+                            and _call_tail(ctx, node) in _RMW_CALLS
+                            and id(node) not in wrapped):
+                        yield self.finding(
+                            ctx, node,
+                            f"`{ctx.dotted(node.func)}` in "
+                            f"`{cls.name}.{func.name}` mutates stripe state "
+                            "outside any serialize_stripe wrapper",
+                        )
+
+
+class NestedSerializeRule(Rule):
+    id = "lock-nested-serialize"
+    family = "locks"
+    description = ("nested serialize_stripe double-acquires the per-stripe "
+                   "lock — a guaranteed self-deadlock (runtime reentrancy "
+                   "check fires only after a full run)")
+    fixit = ("unnest: the outer wrapper already holds the stripe lock for "
+             "the whole body; pass the inner generator directly")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.endswith("_locked"):
+                    for call in _serialize_calls(node, ctx):
+                        yield self.finding(
+                            ctx, call,
+                            f"serialize_stripe inside `{node.name}`, which "
+                            "already runs under the stripe lock",
+                        )
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_tail(ctx, node) != "serialize_stripe":
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for inner in _serialize_calls(arg, ctx):
+                    yield self.finding(
+                        ctx, inner,
+                        "serialize_stripe nested inside another "
+                        "serialize_stripe's body",
+                    )
+
+
+class YieldWhileLockedRule(Rule):
+    id = "lock-yield-while-locked"
+    family = "locks"
+    description = ("a blocking yield point (RPC, sleep, combinator wait) "
+                   "inside a serialize_stripe critical section holds the "
+                   "stripe lock across simulated time")
+    fixit = ("move the blocking operation after the critical section "
+             "(compute under the lock, communicate outside it); if the "
+             "protocol requires it — e.g. PARIX's original-ship-before-ack "
+             "— suppress with that reason")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in _serializing_classes(ctx.tree):
+            for func in _methods(cls):
+                for root, where in _locked_subtrees(func, ctx):
+                    for node in ast.walk(root):
+                        if not isinstance(node, ast.Call):
+                            continue
+                        tail = _call_tail(ctx, node)
+                        if tail in _BLOCKING_CALLS:
+                            yield self.finding(
+                                ctx, node,
+                                f"blocking `{tail}` inside {where} of "
+                                f"`{cls.name}.{func.name}` — stripe lock "
+                                "held across the wait",
+                            )

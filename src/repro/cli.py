@@ -21,6 +21,7 @@ experiment cell:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -65,6 +66,26 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table1", help="storage workload & network traffic")
     sub.add_parser("table2", help="residency per log layer")
     sub.add_parser("lifespan", help="flash wear comparison")
+
+    li = sub.add_parser(
+        "lint",
+        help="static analysis: engine-invariant rules over the sources",
+    )
+    li.add_argument("paths", nargs="*", default=["src"],
+                    help="files/directories to analyze (default: src)")
+    li.add_argument("--format", choices=["text", "json"], default="text",
+                    help="report format (default: text)")
+    li.add_argument("--strict", action="store_true",
+                    help="exit 1 on ANY unsuppressed finding, unused "
+                         "suppression, or suppression without a reason "
+                         "(the CI gate)")
+    li.add_argument("--rules", nargs="+", default=None, metavar="RULE",
+                    help="restrict the run to these rule ids")
+    li.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalogue and exit")
+    li.add_argument("--show-suppressed", action="store_true",
+                    help="include suppressed findings (and their reasons) "
+                         "in the text report")
 
     sc = sub.add_parser("scenario", help="one named open-loop workload scenario")
     sc.add_argument("name", help='scenario name, or "list" to enumerate')
@@ -163,6 +184,46 @@ def _baseline_drift(baseline: dict, payload: dict) -> list:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.cmd == "lint":
+        # Self-contained: the analysis package must not drag the engine
+        # (numpy, harness) into a lint run.
+        from repro.analysis import (
+            analyze_paths,
+            render_json,
+            render_text,
+            rules_by_id,
+        )
+
+        try:
+            rules = list(rules_by_id(args.rules).values())
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.list_rules:
+            for rule in rules:
+                print(f"{rule.id:26s} [{rule.family}] {rule.description}")
+            return 0
+        missing = [p for p in args.paths if not os.path.exists(p)]
+        if missing:
+            print(f"no such path(s): {missing}", file=sys.stderr)
+            return 2
+        findings = analyze_paths(args.paths, rules)
+        if args.format == "json":
+            print(render_json(findings))
+        else:
+            print(render_text(findings, show_suppressed=args.show_suppressed))
+        from repro.analysis.core import META_RULES
+
+        active = [f for f in findings if not f.suppressed]
+        if args.strict:
+            # Strict is the CI gate: suppression-audit findings (unused
+            # allows, allows without a reason) fail too.
+            return 1 if active else 0
+        # Non-strict: audit findings print but only real rule violations
+        # set the exit code.
+        return 1 if [f for f in active if f.rule not in META_RULES] else 0
+
     # Imports deferred so `--help` stays instant.
     from repro import harness
 
@@ -367,7 +428,6 @@ def main(argv=None) -> int:
         payload = results_to_json(results, method_rows, recovery_rows,
                                   scale_up_rows)
         if args.json:
-            import os
             import tempfile
 
             # Atomic write (temp file + rename in the destination

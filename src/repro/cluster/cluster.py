@@ -10,7 +10,7 @@ locations without paying an RPC per update).
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 import numpy as np

@@ -9,7 +9,7 @@ paper's Fig. 1 shows.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -11,7 +11,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.metrics.report import format_series

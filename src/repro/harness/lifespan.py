@@ -8,7 +8,7 @@ endure 2.5x-13x longer than under the other update methods.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.metrics.report import format_table

@@ -13,7 +13,7 @@ from typing import Hashable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.logstruct.index import Segment, TwoLevelIndex
+from repro.logstruct.index import TwoLevelIndex
 from repro.logstruct.states import UnitState
 
 ENTRY_HEADER_BYTES = 32

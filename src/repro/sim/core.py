@@ -159,6 +159,7 @@ class Simulator:
         if when < self.now:
             raise ValueError(f"call_at past time {when} < now {self.now}")
         ev = self.event(name="call_at")
+        # repro-lint: allow(hot-closure) -- call_at is a setup/test convenience, never on the per-transition kernel path
         ev.add_callback(lambda _ev: fn())
         ev.succeed(delay=when - self.now)
         return ev
@@ -400,11 +401,10 @@ class Process(Event):
             return
         if not isinstance(target, Event):
             sim._active -= 1
-            bad = TypeError(
+            self.fail(TypeError(
                 f"process {self.name!r} yielded {target!r}; processes must "
                 "yield Event instances"
-            )
-            self.fail(bad)
+            ))
             return
         self._waiting_on = target
         target.add_callback(self._on_wait_done)

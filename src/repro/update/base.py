@@ -16,7 +16,7 @@ Helper generators shared by the in-place family (FO/PL/PLR/CoRD) live here.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

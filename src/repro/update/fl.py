@@ -12,7 +12,6 @@ included for completeness and for the update-path unit tests.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
 
 import numpy as np
 

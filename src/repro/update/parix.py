@@ -170,6 +170,7 @@ class PARIXStrategy(UpdateStrategy):
             old = old.copy()
             calls = [
                 self.sim.process(
+                    # repro-lint: allow(lock-yield-while-locked) -- PARIX original-ship: the original image must reach every parity log before the speculative write is acked (the protocol's extra round trip)
                     self.osd.rpc(
                         osd_name,
                         "parix_append",
@@ -179,6 +180,7 @@ class PARIXStrategy(UpdateStrategy):
                 )
                 for _p, osd_name in targets
             ]
+            # repro-lint: allow(lock-yield-while-locked) -- PARIX original-ship barrier: ack only after all parity logs hold the original image
             yield AllOf(self.sim, calls)
             seen.add(offset, offset + int(data.size))
         else:
@@ -186,6 +188,7 @@ class PARIXStrategy(UpdateStrategy):
         yield from self.osd.store.write_range(key, offset, data, pattern="rand")
         calls = [
             self.sim.process(
+                # repro-lint: allow(lock-yield-while-locked) -- speculative-append ship stays under the stripe lock so same-stripe updates keep parity-log order
                 self.osd.rpc(
                     osd_name,
                     "parix_append",
@@ -196,6 +199,7 @@ class PARIXStrategy(UpdateStrategy):
             for _p, osd_name in targets
         ]
         if calls:
+            # repro-lint: allow(lock-yield-while-locked) -- ack barrier for the speculative append, required before the client update completes
             yield AllOf(self.sim, calls)
 
     # ------------------------------------------------------------------
@@ -313,6 +317,7 @@ class PARIXStrategy(UpdateStrategy):
                 live_share, zone="parix_log", pattern="seq", overwrite=False
             )
         if jobs:
+            # repro-lint: allow(lock-yield-while-locked) -- drain-path compaction barrier: runs behind the harness post-workload barrier, no competing updates exist
             yield AllOf(self.sim, jobs)
 
     def drain(self, phase: int = 0):

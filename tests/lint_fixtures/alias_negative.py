@@ -1,0 +1,23 @@
+"""Known-negative corpus for the zero-copy aliasing rules: nothing fires."""
+
+
+class GoodConsumer:
+    def consume_before_yield(self, key, offset, n):
+        view = yield from self.store.read_range(key, offset, n)
+        total = view.sum()  # consumed synchronously: still valid
+        yield self.sim.sleep(1.0)
+        return total
+
+    def snapshot_before_yield(self, key, offset, n):
+        view = yield from self.store.read_range(key, offset, n)
+        view = view.copy()  # explicit snapshot detaches from the buffer
+        yield self.sim.sleep(1.0)
+        return view.sum()
+
+    def kernel_peek_is_a_float(self):
+        t = self.sim.peek()  # zero-arg peek: next event time, not a view
+        yield self.sim.sleep(1.0)
+        return t
+
+    def snapshot_on_attribute(self, key):
+        self.cached = self.store.peek(key).copy()  # stores a copy, fine

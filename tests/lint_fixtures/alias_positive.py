@@ -1,0 +1,16 @@
+"""Known-positive corpus for the zero-copy aliasing rules."""
+
+
+class BadConsumer:
+    def stale_view(self, key, offset, n):
+        view = yield from self.store.read_range(key, offset, n)
+        yield self.sim.sleep(1.0)  # any process may overwrite the buffer now
+        return view.sum()  # alias-view-across-yield
+
+    def stale_peek(self, key):
+        data = self.store.peek(key)  # keyed peek returns a view
+        yield self.osd.rpc("peer", "ping", {})
+        return bytes(data)  # alias-view-across-yield
+
+    def escaping_view(self, key):
+        self.cached = self.store.peek(key)  # alias-view-escape

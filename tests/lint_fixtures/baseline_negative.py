@@ -1,0 +1,24 @@
+"""Known-negative corpus for the baseline hygiene rules: nothing fires."""
+
+import json
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:
+    from collections import OrderedDict  # only used in string-typed hints
+
+__all__ = ["dump", "generator_stub"]
+
+
+def dump(values: List[int], mapping: "OrderedDict") -> str:
+    return json.dumps(list(values))
+
+
+def conditional_return(x):
+    if x > 0:
+        return x
+    return -x  # reachable: the return above is conditional
+
+
+def generator_stub():
+    raise NotImplementedError("overridden in subclasses")
+    yield  # the make-this-a-generator idiom is exempt

@@ -1,0 +1,14 @@
+"""Known-positive corpus for the baseline hygiene rules."""
+
+import json  # dead-import
+from typing import Dict, List  # dead-import x2 (neither name is read)
+
+
+def early_return(x):
+    return x + 1
+    print("never runs")  # unreachable-code
+
+
+def raises(x):
+    raise ValueError(x)
+    x += 1  # unreachable-code

@@ -1,0 +1,23 @@
+"""Known-negative corpus for the determinism rules: nothing here fires."""
+
+import random
+
+
+def virtual_time(sim):
+    return sim.now  # virtual clock, not wall clock
+
+
+def seeded_rng(seed):
+    return random.Random(seed)  # explicit seed: reproducible
+
+
+def sorted_set_iteration(keys):
+    out = []
+    for k in sorted(set(keys)):  # sorted() pins a total order
+        out.append(k)
+    return out
+
+
+def set_membership_only(keys, probe):
+    seen = set(keys)  # building/probing a set is fine; iterating it isn't
+    return probe in seen

@@ -1,0 +1,42 @@
+"""Known-positive corpus for the determinism rules.
+
+Every construct here must produce a finding; ``tests/test_lint.py``
+asserts the exact rules and lines.
+"""
+
+import os
+import random
+import time as _time
+import uuid
+from datetime import datetime
+
+
+def wallclock_feeds_output():
+    return _time.perf_counter()  # det-wallclock (alias-resolved)
+
+
+def wallclock_datetime():
+    return datetime.now()  # det-wallclock
+
+
+def entropy_urandom():
+    return os.urandom(8)  # det-entropy
+
+
+def entropy_uuid4():
+    return str(uuid.uuid4())  # det-entropy
+
+
+def entropy_module_rng():
+    return random.random()  # det-entropy (module-level RNG, unseeded)
+
+
+def set_order_iteration(keys):
+    out = []
+    for k in {k for k in keys}:  # det-set-order
+        out.append(k)
+    return out
+
+
+def set_order_materialize(a, b):
+    return list(set(a) | set(b))  # det-set-order

@@ -1,0 +1,23 @@
+"""Known-negative corpus for the hot-path hygiene rules: nothing fires.
+
+Cold subtrees (raise statements, ``fail(...)``/``_crash(...)`` call
+arguments, ``__repr__``) are exempt by construction, not by suppression.
+"""
+
+
+def transition(self, event):
+    self.count += 1
+    if event.state != 2:
+        raise RuntimeError(f"bad state {event.state!r}")  # inside raise: cold
+    return self.count
+
+
+def dies(self, process, target):
+    process.fail(TypeError(
+        f"process {process.name!r} yielded {target!r}"  # fail() args: cold
+    ))
+
+
+class Record:
+    def __repr__(self):
+        return f"Record({self.value!r})"  # __repr__ is a debug aid: cold

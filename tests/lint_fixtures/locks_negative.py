@@ -1,0 +1,31 @@
+"""Known-negative corpus for the lock-discipline rules: nothing fires.
+
+Includes the rules' deliberate lexical boundaries: helpers invoked from
+inside a wrapped body are out of scope unless they follow the
+``*_locked`` naming convention, and log-structured strategies that do not
+declare ``serializes_stripes`` are exempt wholesale (appends commute).
+"""
+
+
+class GoodStrategy:
+    serializes_stripes = True
+
+    def apply_update(self, key, offset, data):
+        yield from self.serialize_stripe(
+            key, self.rmw_delta(key, offset, data)  # wrapped: fine
+        )
+
+    def _apply_locked(self, key, offset, data):
+        # Under the lock by convention; pure compute + device I/O (the
+        # modelled cost of RMW), no blocking yield points.
+        yield from self.rmw_delta(key, offset, data)
+
+    def drain(self, phase=0):
+        # Drain runs behind the harness post-workload barrier: exempt.
+        yield from self.rmw_delta(0, 0, None)
+
+
+class LogStructured:
+    # No serializes_stripes declaration: appends commute, no lock contract.
+    def apply_update(self, key, offset, data):
+        yield from self.rmw_delta(key, offset, data)

@@ -1,0 +1,26 @@
+"""Known-positive corpus for the lock-discipline rules."""
+
+
+class BadStrategy:
+    serializes_stripes = True
+
+    def apply_update(self, key, offset, data):
+        # RMW with no serialize_stripe wrapper anywhere in the method.
+        yield from self.rmw_delta(key, offset, data)  # lock-rmw-unserialized
+
+    def nested_wrap(self, key, body):
+        yield from self.serialize_stripe(
+            key,
+            self.serialize_stripe(key, body),  # lock-nested-serialize
+        )
+
+    def _update_locked(self, key, body):
+        # Already under the lock by naming convention: re-wrapping
+        # self-deadlocks, and the RPC stretches the critical section.
+        yield from self.serialize_stripe(key, body)  # lock-nested-serialize
+        yield from self.osd.rpc("peer", "ship", {})  # lock-yield-while-locked
+
+    def blocking_in_wrapper_body(self, key, data):
+        yield from self.serialize_stripe(
+            key, self.sim.sleep(1.0)  # lock-yield-while-locked
+        )

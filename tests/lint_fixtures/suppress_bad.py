@@ -1,0 +1,19 @@
+"""Suppression corpus: every allow() here is itself a finding."""
+
+import os
+import time as _time
+
+
+def missing_reason():
+    # repro-lint: allow(det-wallclock)
+    return _time.perf_counter()
+
+
+def stale_allow():
+    # repro-lint: allow(det-entropy) -- nothing on the next line draws entropy
+    return 7
+
+
+def wrong_rule():
+    # repro-lint: allow(det-wallclock) -- suppresses the wrong rule, so both fire
+    return os.urandom(4)

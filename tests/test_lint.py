@@ -1,0 +1,276 @@
+"""Tests for ``repro.analysis`` / the ``repro lint`` gate.
+
+Every rule family is proven against a known-positive and known-negative
+fixture (``tests/lint_fixtures/``), the suppression discipline is
+exercised end to end (reasons required, stale allows flagged, docstring
+mentions inert), and the shipped tree itself must pass ``--strict`` —
+the same check CI runs.
+"""
+
+import json
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintConfig,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    render_json,
+    render_text,
+    rules_by_id,
+)
+from repro.analysis.core import META_RULES, parse_suppressions
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_SRC = str(Path(__file__).parents[1] / "src")
+
+
+def lint(name, rule_ids=None, config=None):
+    rules = (list(rules_by_id(rule_ids).values()) if rule_ids
+             else all_rules())
+    return analyze_file(str(FIXTURES / name), rules, config)
+
+
+def rule_counts(findings, active_only=True):
+    return Counter(
+        f.rule for f in findings if not (active_only and f.suppressed)
+    )
+
+
+HOT_CONFIG = LintConfig(hot_module_suffixes=(
+    "lint_fixtures/hot_positive.py", "lint_fixtures/hot_negative.py",
+))
+
+
+# ----------------------------------------------------------------------
+# rule families: each fires on its positive corpus, stays silent on the
+# negative one
+# ----------------------------------------------------------------------
+def test_determinism_rules_fire():
+    counts = rule_counts(lint("det_positive.py"))
+    assert counts == {
+        "det-wallclock": 2, "det-entropy": 3, "det-set-order": 2,
+    }
+
+
+def test_determinism_rules_negative():
+    assert rule_counts(lint("det_negative.py")) == {}
+
+
+def test_wallclock_resolves_import_aliases():
+    findings = lint("det_positive.py", rule_ids=["det-wallclock"])
+    assert any("time.perf_counter" in f.message for f in findings)
+
+
+def test_lock_rules_fire():
+    counts = rule_counts(lint("locks_positive.py"))
+    assert counts == {
+        "lock-rmw-unserialized": 1,
+        "lock-nested-serialize": 2,
+        "lock-yield-while-locked": 2,
+    }
+
+
+def test_lock_rules_negative():
+    assert rule_counts(lint("locks_negative.py")) == {}
+
+
+def test_aliasing_rules_fire():
+    counts = rule_counts(lint("alias_positive.py"))
+    assert counts == {
+        "alias-view-across-yield": 2, "alias-view-escape": 1,
+    }
+
+
+def test_aliasing_rules_negative():
+    assert rule_counts(lint("alias_negative.py")) == {}
+
+
+def test_hotpath_rules_fire():
+    counts = rule_counts(lint("hot_positive.py", config=HOT_CONFIG))
+    assert counts == {
+        "hot-fstring": 3, "hot-closure": 1, "hot-alloc": 1,
+    }
+
+
+def test_hotpath_rules_negative():
+    # raise subtrees, fail(...) arguments, and __repr__ are cold.
+    assert rule_counts(lint("hot_negative.py", config=HOT_CONFIG)) == {}
+
+
+def test_hotpath_rules_scoped_to_hot_modules():
+    # Without the config naming this file hot, nothing fires at all.
+    assert rule_counts(lint("hot_positive.py")) == {}
+
+
+def test_baseline_rules_fire():
+    counts = rule_counts(lint("baseline_positive.py"))
+    assert counts == {"dead-import": 3, "unreachable-code": 2}
+
+
+def test_baseline_rules_negative():
+    # __all__ exports, TYPE_CHECKING imports, conditional returns, and the
+    # raise-then-bare-yield generator idiom are all clean.
+    assert rule_counts(lint("baseline_negative.py")) == {}
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_reasoned_suppressions_silence_findings():
+    findings = lint("suppress_ok.py")
+    assert [f for f in findings if not f.suppressed] == []
+    suppressed = [f for f in findings if f.suppressed]
+    assert sorted(f.rule for f in suppressed) == [
+        "det-entropy", "det-wallclock",
+    ]
+    assert all(f.suppress_reason for f in suppressed)
+
+
+def test_docstring_mention_is_not_a_suppression():
+    # suppress_ok.py quotes the allow() syntax inside its docstring; a
+    # line-based scanner would register (and then flag) a stale allow.
+    findings = lint("suppress_ok.py")
+    assert not any(f.rule == "unused-suppression" for f in findings)
+
+
+def test_suppression_audit_findings():
+    counts = rule_counts(lint("suppress_bad.py"))
+    assert counts == {
+        "suppression-missing-reason": 1,  # allow() without -- <reason>
+        "unused-suppression": 2,          # stale allow + wrong rule id
+        "det-entropy": 1,                 # the violation the wrong id missed
+    }
+
+
+def test_standalone_suppression_binds_to_next_code_line():
+    sups = parse_suppressions([
+        "# repro-lint: allow(det-wallclock) -- why",
+        "# an ordinary comment in between",
+        "",
+        "t = time.time()",
+    ])
+    assert len(sups) == 1
+    assert sups[0].target_line == 4
+    assert sups[0].rules == ("det-wallclock",)
+    assert sups[0].reason == "why"
+
+
+def test_same_line_suppression_with_rule_list():
+    sups = parse_suppressions([
+        "x = os.urandom(4)  # repro-lint: allow(det-entropy, det-wallclock) -- both",
+    ])
+    assert len(sups) == 1
+    assert sups[0].target_line == 1
+    assert sups[0].rules == ("det-entropy", "det-wallclock")
+
+
+# ----------------------------------------------------------------------
+# drivers and reporters
+# ----------------------------------------------------------------------
+def test_analyze_paths_is_deterministic():
+    first = analyze_paths([str(FIXTURES)], all_rules())
+    second = analyze_paths([str(FIXTURES)], all_rules())
+    assert [f.to_dict() for f in first] == [f.to_dict() for f in second]
+    keys = [f.sort_key() for f in first]
+    assert keys == sorted(keys)
+
+
+def test_parse_error_is_a_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    findings = analyze_file(str(bad), all_rules())
+    assert [f.rule for f in findings] == ["parse-error"]
+
+
+def test_render_text_shape():
+    findings = lint("baseline_positive.py")
+    out = render_text(findings)
+    assert "baseline_positive.py" in out
+    assert "[dead-import]" in out and "[unreachable-code]" in out
+    assert "fix:" in out
+    assert "finding(s)" in out
+
+
+def test_render_json_round_trips():
+    findings = lint("suppress_bad.py")
+    payload = json.loads(render_json(findings))
+    assert payload["summary"]["total"] == len(findings)
+    rules = {f["rule"] for f in payload["findings"]}
+    assert "det-entropy" in rules and "unused-suppression" in rules
+
+
+def test_rules_by_id_rejects_unknown():
+    with pytest.raises(ValueError):
+        rules_by_id(["no-such-rule"])
+
+
+def test_every_rule_has_fixture_coverage():
+    # The registry and the fixture corpus must not drift apart: every
+    # registered rule id fires somewhere in the positive fixtures.
+    fired = set()
+    for name in ("det_positive.py", "locks_positive.py",
+                 "alias_positive.py", "baseline_positive.py"):
+        fired |= set(rule_counts(lint(name)))
+    fired |= set(rule_counts(lint("hot_positive.py", config=HOT_CONFIG)))
+    registered = {r.id for r in all_rules()}
+    assert registered <= fired
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_exit_codes(capsys):
+    fixture = str(FIXTURES / "baseline_positive.py")
+    clean = str(FIXTURES / "det_negative.py")
+    assert cli_main(["lint", fixture]) == 1
+    assert cli_main(["lint", clean]) == 0
+    assert cli_main(["lint", "--strict", clean]) == 0
+    assert cli_main(["lint", "/no/such/path"]) == 2
+    assert cli_main(["lint", fixture, "--rules", "no-such-rule"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_meta_findings_gate_only_strict(capsys):
+    # suppress_bad.py's only *unsuppressed* real violation is det-entropy;
+    # scope the run to det-wallclock so the remaining findings are all
+    # meta (audit) findings: non-strict passes, strict fails.
+    fixture = str(FIXTURES / "suppress_bad.py")
+    assert cli_main(["lint", fixture, "--rules", "det-wallclock"]) == 0
+    assert cli_main(["lint", "--strict", fixture,
+                     "--rules", "det-wallclock"]) == 1
+    capsys.readouterr()
+
+
+def test_cli_json_output(capsys):
+    cli_main(["lint", "--format", "json", str(FIXTURES / "suppress_ok.py")])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["suppressed"] == 2
+    assert payload["summary"]["active"] == 0
+
+
+def test_cli_list_rules(capsys):
+    assert cli_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.id in out
+
+
+def test_meta_rules_are_registered_nowhere():
+    # Audit findings come from the framework, not the registry — they can
+    # never be selected, and therefore never suppressed, by rule id.
+    registered = {r.id for r in all_rules()}
+    assert registered.isdisjoint(META_RULES)
+
+
+# ----------------------------------------------------------------------
+# the gate itself: the shipped tree is lint-clean under --strict
+# ----------------------------------------------------------------------
+def test_shipped_tree_is_strict_clean(capsys):
+    assert cli_main(["lint", "--strict", REPO_SRC]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
