@@ -70,6 +70,7 @@ def main(argv=None) -> int:
         return 2
 
     metric = args.metric
+    unit = "ev/s" if metric == "events_per_sec" else "ev/cpu-s"
     lacking = [r for r in shared
                if metric not in baseline[r] or metric not in fresh[r]]
     if lacking:
@@ -85,7 +86,7 @@ def main(argv=None) -> int:
         floor = baseline[row][metric] * (1.0 - args.tolerance)
         got = fresh[row][metric]
         status = "ok" if got >= floor else "REGRESSED"
-        print(f"{row:24s} {got:>12,.0f} ev/s (floor {floor:>12,.0f}, "
+        print(f"{row:24s} {got:>12,.0f} {unit} (floor {floor:>12,.0f}, "
               f"committed {baseline[row][metric]:>12,.0f}) "
               f"{status}")
         if got < floor:

@@ -13,14 +13,24 @@ Public entry points:
 
 ``python -m repro --help`` exposes the experiment runner on the command
 line.
+
+The re-exports below are lazy (PEP 562): ``python -m repro`` must be able
+to launch without importing the engine, so the dependency-free paths
+(``repro lint``, ``--help``) never pull in numpy.  ``from repro import
+Cluster`` still works — the attribute access triggers the real import.
 """
 
 __version__ = "1.0.0"
 
-from repro.cluster import Cluster, ClusterConfig
-from repro.ec import RSCodec
-from repro.sim import Simulator
-from repro.tsue import TSUEConfig, TSUEEngine
+# Public name -> defining submodule, resolved on first attribute access.
+_LAZY_EXPORTS = {
+    "Cluster": "repro.cluster",
+    "ClusterConfig": "repro.cluster",
+    "RSCodec": "repro.ec",
+    "Simulator": "repro.sim",
+    "TSUEConfig": "repro.tsue",
+    "TSUEEngine": "repro.tsue",
+}
 
 __all__ = [
     "Cluster",
@@ -31,3 +41,20 @@ __all__ = [
     "TSUEEngine",
     "__version__",
 ]
+
+
+def __getattr__(name):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: subsequent accesses skip __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -213,16 +213,21 @@ def main(argv=None) -> int:
             print(render_json(findings))
         else:
             print(render_text(findings, show_suppressed=args.show_suppressed))
-        from repro.analysis.core import META_RULES
+        from repro.analysis.core import (
+            SUPPRESSION_MISSING_REASON,
+            UNUSED_SUPPRESSION,
+        )
 
         active = [f for f in findings if not f.suppressed]
         if args.strict:
             # Strict is the CI gate: suppression-audit findings (unused
             # allows, allows without a reason) fail too.
             return 1 if active else 0
-        # Non-strict: audit findings print but only real rule violations
-        # set the exit code.
-        return 1 if [f for f in active if f.rule not in META_RULES] else 0
+        # Non-strict: suppression-audit findings print but do not set the
+        # exit code.  A parse error is NOT audit noise — the file was not
+        # analyzed at all, so it fails in both modes.
+        audit = (SUPPRESSION_MISSING_REASON, UNUSED_SUPPRESSION)
+        return 1 if [f for f in active if f.rule not in audit] else 0
 
     # Imports deferred so `--help` stays instant.
     from repro import harness
