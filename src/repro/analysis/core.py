@@ -80,6 +80,11 @@ class LintConfig:
     )
     # Path fragments that exclude a file from analysis entirely.
     exclude_parts: Tuple[str, ...] = ("__pycache__",)
+    # Name fragments identifying payload-plane mode flags (ghost_dataplane
+    # and friends).  The plane-branch rule flags branches on these inside
+    # generator functions: plane selection is an __init__-time binding
+    # decision, never a per-event one.
+    plane_flag_markers: Tuple[str, ...] = ("ghost",)
     # ``__init__.py`` re-exports names on purpose; the dead-import rule
     # skips them unless configured otherwise.
     dead_import_skip_init: bool = True

@@ -28,6 +28,7 @@ from repro.analysis.rules.locks import (
     UnserializedRMWRule,
     YieldWhileLockedRule,
 )
+from repro.analysis.rules.plane import PlaneBranchRule
 
 
 def all_rules() -> List[Rule]:
@@ -44,6 +45,8 @@ def all_rules() -> List[Rule]:
         # zero-copy aliasing — view lifetime across yields
         ViewAcrossYieldRule(),
         ViewEscapeRule(),
+        # payload-plane discipline — generators stay plane-blind
+        PlaneBranchRule(),
         # hot-path hygiene — the hand-optimised kernel files
         HotPathFStringRule(),
         HotPathClosureRule(),

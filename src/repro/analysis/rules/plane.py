@@ -1,0 +1,113 @@
+"""Payload-plane discipline rules.
+
+The invariant (the ghost data plane's safety contract, see
+``docs/dataplane.md``): plane selection happens **once, at construction
+time**, by binding method pointers or wrapping payloads — never by
+branching on a plane flag inside simulation processes.  A
+``if self.ghost: ...`` inside a generator function is a per-event
+decision point: the two planes can diverge in event counts, RNG draws,
+or time charging, and the divergence only surfaces as baseline drift
+after a full bench run.  Keeping generators plane-blind is what makes
+the ghost↔byte equivalence suite a meaningful gate.
+
+One rule:
+
+* ``plane-branch`` — an ``if`` / ``while`` / conditional expression
+  inside a generator function whose test mentions a plane flag (any
+  name or attribute whose last dotted component contains a configured
+  marker, ``ghost`` by default).
+
+Non-generator helpers (payload constructors, materialization points,
+``__init__`` wiring) may branch on the flag freely — that is exactly
+where the discipline says the decision belongs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Union
+
+from repro.analysis.core import FileContext, Finding, Rule
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+_Scope = _FuncDef + (ast.Lambda, ast.ClassDef)
+
+
+def _own_nodes(func: Union[ast.FunctionDef, ast.AsyncFunctionDef]):
+    """Walk a function body without descending into nested scopes."""
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _Scope):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_generator(func: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> bool:
+    return any(
+        isinstance(node, (ast.Yield, ast.YieldFrom))
+        for node in _own_nodes(func)
+    )
+
+
+def _plane_names(ctx: FileContext, test: ast.AST, markers) -> List[str]:
+    """Plane-flag names mentioned in a branch test, in source order.
+
+    A name matches when the *last* dotted component contains a marker:
+    ``self._ghost``, ``cfg.ghost_dataplane`` and ``ghost_mode`` all
+    match ``ghost``; ``ghostwriter.page`` does not (the flag is the
+    attribute ``page``).
+    """
+    hits: List[str] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            last = node.attr if isinstance(node, ast.Attribute) else node.id
+            if any(marker in last.lower() for marker in markers):
+                hits.append(ctx.dotted(node) or last)
+            # Do not descend into an attribute chain's value: only the
+            # *last* component names the flag (`ghostwriter.page` is not
+            # a plane flag, `cfg.ghost_dataplane` is).
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.value, (ast.Name, ast.Attribute)
+            ):
+                return
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    visit(test)
+    return hits
+
+
+class PlaneBranchRule(Rule):
+    id = "plane-branch"
+    family = "plane"
+    description = ("branching on a payload-plane flag (ghost_dataplane) "
+                   "inside a generator function makes plane selection a "
+                   "per-event decision — planes can silently diverge")
+    fixit = ("bind the plane once at __init__ (method pointers, or wrap "
+             "the payload before the process starts) so generator bodies "
+             "stay plane-blind; payload-type dispatch belongs in "
+             "non-generator helpers like repro.dataplane.as_payload")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        markers = tuple(
+            m.lower() for m in ctx.config.plane_flag_markers
+        )
+        if not markers:
+            return
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, _FuncDef) or not _is_generator(func):
+                continue
+            for node in _own_nodes(func):
+                if isinstance(node, (ast.If, ast.IfExp, ast.While)):
+                    names = _plane_names(ctx, node.test, markers)
+                    if names:
+                        yield self.finding(
+                            ctx, node,
+                            f"generator `{func.name}` branches on plane "
+                            f"flag(s) {', '.join(f'`{n}`' for n in names)} "
+                            "— plane selection must be bound before the "
+                            "process starts, not decided per event",
+                        )

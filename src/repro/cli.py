@@ -125,6 +125,9 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--scale-up-scenario", default="scale_up",
                     help="scenario for the per-method 10x-scale sweep "
                          "(default: scale_up; \"none\" skips it)")
+    be.add_argument("--scale-out-scenario", default="scale_out",
+                    help="scenario for the per-method ghost-plane cluster "
+                         "sweep (default: scale_out; \"none\" skips it)")
     be.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                     help="fan scenario x method rows out over N worker "
                          "processes (each row is an isolated simulator; "
@@ -145,25 +148,56 @@ def build_parser() -> argparse.ArgumentParser:
                     const="BENCH_scenarios.json", default=None,
                     metavar="PATH",
                     help="after the run, diff the simulated-output rows "
-                         "(scenarios/methods/recovery/scale_up — the "
-                         "machine-dependent perf section is ignored) "
-                         "against an existing baseline; exit 3 on drift")
+                         "(scenarios/methods/recovery/scale_up/scale_out — "
+                         "the machine-dependent perf section is ignored) "
+                         "against an existing baseline, reporting the first "
+                         "differing JSON leaf cells; exit 3 on drift")
     return ap
 
 
+def _leaf_diffs(path: str, a, b, out: list) -> None:
+    """Append ``path: old -> new`` lines for every differing JSON *leaf*.
+
+    Recurses through nested dicts so a changed cell inside, say, a row's
+    ``recovery`` sub-table reports the exact dotted leaf
+    (``recovery.tsue.recovery.drain_s: 0.1 -> 0.2``) instead of dumping
+    both whole row dicts.  Keys only one side has are leaves too (reported
+    with the sentinel ``<absent>``); mismatched shapes (dict vs scalar)
+    bottom out at the current path.
+    """
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in a:
+                _leaf_diffs(sub, "<absent>", b[key], out)
+            elif key not in b:
+                _leaf_diffs(sub, a[key], "<absent>", out)
+            else:
+                _leaf_diffs(sub, a[key], b[key], out)
+        return
+    if a != b:
+        old = a if isinstance(a, str) and a == "<absent>" else repr(a)
+        new = b if isinstance(b, str) and b == "<absent>" else repr(b)
+        out.append(f"{path}: {old} -> {new}")
+
+
 def _baseline_drift(baseline: dict, payload: dict) -> list:
-    """Rows that changed vs an existing baseline (the determinism gate).
+    """Leaf cells that changed vs an existing baseline (the determinism gate).
 
     Compares the *simulated-output* sections (``scenarios`` / ``methods`` /
-    ``recovery`` / ``scale_up``) cell by cell for every row present in
-    both the baseline and this run; the machine-dependent ``perf`` section
-    is ignored, and rows only one side has (e.g. a freshly added scenario)
-    are additions, not drift.  ``baseline`` is the decoded JSON — loaded
-    by the caller *before* any ``--json`` write, so checking against the
-    same path that is being regenerated still compares old vs new.
+    ``recovery`` / ``scale_up`` / ``scale_out``) for every row present in
+    both the baseline and this run, recursing to the first differing JSON
+    leaf so a drifted run reports exact dotted paths and old/new cell
+    values, not wholesale row dumps.  The machine-dependent ``perf``
+    section is ignored, and rows only this run has (e.g. a freshly added
+    scenario) are additions, not drift.  ``baseline`` is the decoded
+    JSON — loaded by the caller *before* any ``--json`` write, so checking
+    against the same path that is being regenerated still compares old vs
+    new.
     """
     drift = []
-    for section in ("scenarios", "methods", "recovery", "scale_up"):
+    sections = ("scenarios", "methods", "recovery", "scale_up", "scale_out")
+    for section in sections:
         old = baseline.get(section, {})
         new = payload.get(section, {})
         # A baseline row this run did not produce is drift too — a silent
@@ -173,12 +207,7 @@ def _baseline_drift(baseline: dict, payload: dict) -> list:
         for row in sorted(set(old) - set(new)):
             drift.append(f"{section}.{row}: present in baseline, missing from this run")
         for row in sorted(set(old) & set(new)):
-            a, b = old[row], new[row]
-            for key in sorted(set(a) | set(b)):
-                if a.get(key) != b.get(key):
-                    drift.append(
-                        f"{section}.{row}.{key}: {a.get(key)!r} -> {b.get(key)!r}"
-                    )
+            _leaf_diffs(f"{section}.{row}", old[row], new[row], drift)
     return drift
 
 
@@ -317,6 +346,10 @@ def main(argv=None) -> int:
             args.scale_up_scenario not in SCENARIOS
         ):
             unknown.append(args.scale_up_scenario)
+        if args.scale_out_scenario != "none" and (
+            args.scale_out_scenario not in SCENARIOS
+        ):
+            unknown.append(args.scale_out_scenario)
         if unknown:
             print(f"unknown scenario(s) {unknown}; known: {known}",
                   file=sys.stderr)
@@ -379,6 +412,8 @@ def main(argv=None) -> int:
                 sweep_scenarios.append(args.recovery_scenario)
             if args.scale_up_scenario != "none":
                 sweep_scenarios.append(args.scale_up_scenario)
+            if args.scale_out_scenario != "none":
+                sweep_scenarios.append(args.scale_out_scenario)
         for s in sweep_scenarios:
             rows.extend((s, m) for m in sweep_methods)
         try:
@@ -390,6 +425,7 @@ def main(argv=None) -> int:
         method_rows = []
         recovery_rows = []
         scale_up_rows = []
+        scale_out_rows = []
         if sweep_methods:
             method_rows = [
                 cells[(args.method_scenario, m)] for m in sweep_methods
@@ -401,6 +437,10 @@ def main(argv=None) -> int:
             if args.scale_up_scenario != "none":
                 scale_up_rows = [
                     cells[(args.scale_up_scenario, m)] for m in sweep_methods
+                ]
+            if args.scale_out_scenario != "none":
+                scale_out_rows = [
+                    cells[(args.scale_out_scenario, m)] for m in sweep_methods
                 ]
 
         if profiler is not None:
@@ -430,8 +470,13 @@ def main(argv=None) -> int:
             print(f"--- per-method 10x rows ({args.scale_up_scenario}) ---")
             for res in scale_up_rows:
                 print(res.render())
+        if scale_out_rows:
+            print(f"--- per-method ghost-plane cluster rows "
+                  f"({args.scale_out_scenario}) ---")
+            for res in scale_out_rows:
+                print(res.render())
         payload = results_to_json(results, method_rows, recovery_rows,
-                                  scale_up_rows)
+                                  scale_up_rows, scale_out_rows)
         if args.json:
             import tempfile
 
@@ -460,10 +505,12 @@ def main(argv=None) -> int:
         if baseline is not None:
             drift = _baseline_drift(baseline, payload)
             if drift:
-                print("BASELINE DRIFT (simulated outputs changed):",
+                print(f"BASELINE DRIFT ({len(drift)} leaf cell(s) changed):",
                       file=sys.stderr)
                 for line in drift[:40]:
                     print(f"  {line}", file=sys.stderr)
+                if len(drift) > 40:
+                    print(f"  ... and {len(drift) - 40} more", file=sys.stderr)
                 return 3
             print(f"baseline check ok against {args.check_baseline}")
         return 0

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Set
 
 import numpy as np
 
+from repro.dataplane import as_payload
 from repro.devices import HDD, SSD, DeviceProfile, StorageDevice
 from repro.ec import RSCodec, StripeMap
 from repro.metrics.counters import NetCounters, OpCounters, WearModel
@@ -56,6 +57,11 @@ class ClusterConfig:
     # virtual times on fault-free runs; must stay False when OSDs can crash
     # or stop mid-run (interrupt semantics need the event path).
     fast_dataplane: bool = False
+    # Ghost payload plane (see repro.dataplane): payloads carry sizes and
+    # provenance only, never bytes.  Composes with fast_dataplane; must
+    # stay False for fault/rebuild/scrub scenarios, which need real bytes
+    # (decode refuses with GhostMaterializationError).
+    ghost_dataplane: bool = False
 
     def __post_init__(self) -> None:
         if self.k + self.m > self.n_osds:
@@ -214,7 +220,7 @@ class Cluster:
         ``data`` must be a whole number of stripes; experiments pre-fill the
         working set this way so measurement windows contain only updates.
         """
-        data = np.asarray(data, dtype=np.uint8)
+        data = as_payload(data)
         cfg = self.config
         span = cfg.k * cfg.block_size
         if data.size == 0 or data.size % span:
@@ -255,9 +261,31 @@ class Cluster:
     # consistency checking (tests / recovery)
     # ------------------------------------------------------------------
     def stripe_consistent(self, inode: int, stripe: int) -> bool:
-        """True iff stored parity equals re-encoded stored data."""
+        """True iff stored parity equals re-encoded stored data.
+
+        Ghost plane: with no bytes to re-encode, the check degrades to the
+        coverage invariant every strategy's parity path maintains — each
+        parity block's written-interval set equals the union of the data
+        blocks' written intervals (a data write that drained must have
+        patched every parity block over exactly the same extent).
+        """
         cfg = self.config
         names = self.placement(inode, stripe)
+        if cfg.ghost_dataplane:
+            from repro.logstruct.intervals import IntervalSet
+
+            union = IntervalSet()
+            for j in range(cfg.k):
+                store = self.osd_by_name(names[j]).store
+                for a, b in store.covered((inode, stripe, j)).intervals():
+                    union.add(a, b)
+            expect_ivs = union.intervals()
+            for p in range(cfg.m):
+                store = self.osd_by_name(names[cfg.k + p]).store
+                got = store.covered((inode, stripe, cfg.k + p)).intervals()
+                if got != expect_ivs:
+                    return False
+            return True
         blocks = []
         for j in range(cfg.k):
             blk = self.osd_by_name(names[j]).store.peek((inode, stripe, j))

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.dataplane import GhostExtent, GhostMaterializationError, as_payload, is_ghost
 from repro.ec.matrix import (
     gf_matinv,
     gf_matmul,
@@ -60,7 +61,24 @@ class RSCodec:
     # encode / decode
     # ------------------------------------------------------------------
     def encode(self, data_blocks: Sequence[np.ndarray]) -> List[np.ndarray]:
-        """Compute the m parity blocks for k equal-length data blocks."""
+        """Compute the m parity blocks for k equal-length data blocks.
+
+        Ghost plane: a GF matrix product of metadata-only extents is pure
+        size bookkeeping — validate the geometry exactly as ``_stack``
+        would, then return one fresh ghost extent per parity block.
+        """
+        if any(is_ghost(b) for b in data_blocks):
+            if len(data_blocks) != self.k:
+                raise ValueError(
+                    f"expected {self.k} blocks, got {len(data_blocks)}"
+                )
+            sizes = {int(b.size) for b in data_blocks}
+            if len(sizes) != 1:
+                raise ValueError(
+                    f"blocks must be equal-length, got sizes {sorted(sizes)}"
+                )
+            n = sizes.pop()
+            return [GhostExtent(n, tag="parity") for _ in range(self.m)]
         stacked = self._stack(data_blocks, self.k)
         parity = gf_matmul(self.parity_matrix, stacked)
         # Rows of the freshly computed product — views, not per-row copies.
@@ -82,6 +100,12 @@ class RSCodec:
         if len(shards) < self.k:
             raise ValueError(
                 f"need at least k={self.k} shards to decode, got {len(shards)}"
+            )
+        if any(is_ghost(s) for s in shards.values()):
+            raise GhostMaterializationError(
+                "RS decode needs real payload bytes; ghost-plane scenarios "
+                "cannot reconstruct — run fault/rebuild workloads on the "
+                "byte plane"
             )
         idx = sorted(shards)[: self.k]
         sub = self.generator[idx]
@@ -129,7 +153,7 @@ class RSCodec:
         offset: int = 0,
     ) -> np.ndarray:
         """Patch ``old_parity`` in place-semantics (returns a new array)."""
-        out = np.asarray(old_parity, dtype=np.uint8).copy()
+        out = as_payload(old_parity).copy()
         delta = self.parity_delta(data_index, parity_index, data_delta)
         if offset + delta.size > out.size:
             raise ValueError("delta overruns parity block")
@@ -170,7 +194,13 @@ def parity_delta(coeff: int, data_delta: np.ndarray) -> np.ndarray:
     conversion, ~3-5x faster on update-sized buffers; coefficient 1 (the
     XOR parity row of every systematic construction) degenerates to one
     memcpy and 0 to a calloc.
+
+    Ghost plane: the GF(2^8) scalar multiply of a metadata-only extent is
+    a same-length extent — return a fresh ghost (the byte plane returns a
+    fresh buffer for every coefficient too, so ownership matches).
     """
+    if type(data_delta) is GhostExtent:
+        return data_delta.copy()
     if type(data_delta) is not np.ndarray or data_delta.dtype != np.uint8:
         data_delta = np.asarray(data_delta, dtype=np.uint8)
     if coeff == 1:
@@ -186,6 +216,10 @@ def parity_delta(coeff: int, data_delta: np.ndarray) -> np.ndarray:
 
 def merge_delta(older: np.ndarray, newer: np.ndarray) -> np.ndarray:
     """Eq. (3): two deltas for the same location collapse by XOR."""
+    if is_ghost(older) or is_ghost(newer):
+        if int(older.size) != int(newer.size):
+            raise ValueError("merge_delta requires equal-shape deltas")
+        return GhostExtent(int(older.size))
     older = np.asarray(older, dtype=np.uint8)
     newer = np.asarray(newer, dtype=np.uint8)
     if older.shape != newer.shape:
@@ -224,10 +258,13 @@ def combine_deltas(
             int(parity_matrix[parity_index, data_index]), delta
         )
     items = sorted(deltas.items())
-    size = {np.asarray(d).size for _, d in items}
+    size = {int(d.size) if is_ghost(d) else np.asarray(d).size for _, d in items}
     if len(size) != 1:
         raise ValueError("combine_deltas requires equal-length deltas")
     n = size.pop()
+    if any(is_ghost(d) for _, d in items):
+        # Eq. (5) over ghosts: the folded patch is length bookkeeping.
+        return GhostExtent(int(n))
     out = np.zeros(n, dtype=np.uint8)
     tmp = _scratch(n)
     for data_index, delta in items:

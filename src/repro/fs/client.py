@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.dataplane import as_payload, concat_payloads
 from repro.fs.messages import HostDownError, RpcHost
 from repro.metrics.latency import LatencyRecorder
 from repro.sim.events import AllOf
@@ -68,7 +69,7 @@ class Client(RpcHost):
         Must cover whole stripes — partial first writes are zero-padded by
         the caller; the measured experiments only exercise ``update``.
         """
-        data = np.asarray(data, dtype=np.uint8)
+        data = as_payload(data)
         cfg = self.cluster.config
         span = cfg.k * cfg.block_size
         if offset % span or data.size % span:
@@ -159,7 +160,7 @@ class Client(RpcHost):
         are the same, so every strategy's recomputed parity delta is zero
         for extents that already landed.
         """
-        data = np.asarray(data, dtype=np.uint8)
+        data = as_payload(data)
         start = self.sim.now
         self.inflight_updates += 1
         self.peak_inflight_updates = max(
@@ -283,7 +284,7 @@ class Client(RpcHost):
 
         # Only the attempt that completed counts toward degraded stats.
         pieces, n_degraded = yield from self._retry_downed(attempt, "read_retries")
-        out = np.concatenate(pieces) if pieces else np.zeros(0, np.uint8)
+        out = concat_payloads(pieces)
         latency = self.sim.now - start
         self.read_latency.record(self.sim.now, latency)
         if n_degraded:

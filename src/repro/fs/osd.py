@@ -16,8 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
+from repro.dataplane import assemble_overlay
 from repro.devices.base import StorageDevice
 from repro.fs.blockstore import BlockStore
 from repro.fs.messages import HostDownError, Message, RpcHost
@@ -35,7 +34,12 @@ class OSD(RpcHost):
         super().__init__(sim, fabric, name)
         self.cluster = cluster
         self.device = device
-        self.store = BlockStore(sim, device, cluster.config.block_size)
+        self.store = BlockStore(
+            sim,
+            device,
+            cluster.config.block_size,
+            ghost=cluster.config.ghost_dataplane,
+        )
         self.register("write_block", self._h_write_block)
         self.register("read", self._h_read)
         self.register("update", self._h_update)
@@ -151,9 +155,7 @@ class OSD(RpcHost):
             covered = sum(frag.size for _, frag in overlay)
             if covered == length:
                 self.cache_hits += 1
-                out = np.zeros(length, dtype=np.uint8)
-                for off, frag in overlay:
-                    out[off - offset : off - offset + frag.size] = frag
+                out = assemble_overlay(length, offset, overlay)
                 yield CACHE_HIT_LATENCY
                 return out
             overlay = [(off, frag.copy()) for off, frag in overlay]

@@ -50,6 +50,10 @@ class ExperimentConfig:
     # device I/O / transfer.  The scenario runner enables it for scenarios
     # without fault injection; keep False when anything can crash mid-run.
     fast_dataplane: bool = False
+    # Ghost payload plane (see repro.dataplane): metadata-only payloads,
+    # O(metadata) memory.  Fault/rebuild scenarios need real bytes; the
+    # scenario runner rejects the combination.
+    ghost_dataplane: bool = False
     # Strategy-specific keyword arguments (e.g. TSUEConfig fields).
     strategy_params: Dict[str, Any] = field(default_factory=dict)
 
@@ -195,6 +199,7 @@ def build_cluster(cfg: ExperimentConfig) -> Cluster:
             net_profile=cfg.resolved_net(),
             seed=cfg.seed,
             fast_dataplane=cfg.fast_dataplane,
+            ghost_dataplane=cfg.ghost_dataplane,
         ),
         _strategy_factory(cfg),
     )
@@ -293,7 +298,21 @@ def _verify(cluster, cfg, replayers) -> bool:
 
     Files start as sparse zeros, so the shadow is built lazily per touched
     block by re-deriving each replayer's deterministic payload stream.
+
+    Ghost plane: there are no bytes to shadow — the check degrades to the
+    coverage invariant per touched stripe (``stripe_consistent`` dispatches
+    on the plane).
     """
+    if cluster.config.ghost_dataplane:
+        for r in replayers:
+            touched = set()
+            for rec in r.records[: r.completed]:
+                for ext in cluster.stripe_map.extents(r.inode, rec.offset, rec.size):
+                    touched.add(ext.addr.stripe)
+            for stripe in touched:
+                if not cluster.stripe_consistent(r.inode, stripe):
+                    return False
+        return True
     for r in replayers:
         payload_rng = _replay_payload_rng(cluster, r)
         per_block: Dict[tuple, np.ndarray] = {}

@@ -25,6 +25,8 @@ from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.dataplane import GhostExtent, as_payload
+
 BITMAP_BITS = 4096
 
 
@@ -48,7 +50,7 @@ class Segment:
     __slots__ = ("offset", "data", "length", "end", "owned")
 
     def __init__(self, offset: int, data: np.ndarray, owned: bool = False):
-        data = np.asarray(data, dtype=np.uint8)
+        data = as_payload(data)
         if data.ndim != 1:
             raise ValueError("segment payload must be 1-D bytes")
         self.offset = offset
@@ -137,7 +139,7 @@ class TwoLevelIndex:
         defensive copy per insert was the single largest allocation source
         on the log append path.
         """
-        data = np.asarray(data, dtype=np.uint8)
+        data = as_payload(data)
         if offset < 0:
             raise ValueError("negative offset")
         if data.size == 0:
@@ -199,7 +201,14 @@ class TwoLevelIndex:
         group = segs[lo:hi]
         start = min(new.offset, group[0].offset)
         end = max(new.end, max(s.end for s in group))
-        buf = np.zeros(end - start, dtype=np.uint8)
+        # Merge-buffer allocation dispatches on the *payload type* of what
+        # is already in the index (a non-generator materialization point —
+        # plane-discipline clean): ghost segments rebuild into a ghost
+        # buffer whose slice/assign/xor ops are pure size bookkeeping.
+        if type(group[0].data) is GhostExtent:
+            buf = GhostExtent(end - start)
+        else:
+            buf = np.zeros(end - start, dtype=np.uint8)
         for s in group:
             buf[s.offset - start : s.end - start] = s.data
         nlo, nhi = new.offset - start, new.end - start

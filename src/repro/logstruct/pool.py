@@ -18,6 +18,7 @@ from typing import Callable, Deque, Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.dataplane import as_payload
 from repro.logstruct.states import UnitState
 from repro.logstruct.unit import ENTRY_HEADER_BYTES, LogUnit
 
@@ -102,7 +103,7 @@ class LogPool:
         must wait for a recycle to complete and retry (this is the
         back-pressure that bounds memory, §3.2.1).
         """
-        data = np.asarray(data, dtype=np.uint8)
+        data = as_payload(data)
         max_chunk = self.unit_capacity - ENTRY_HEADER_BYTES
         if data.size > max_chunk:
             pos = 0

@@ -13,6 +13,7 @@ from typing import Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.dataplane import as_payload
 from repro.logstruct.index import TwoLevelIndex
 from repro.logstruct.states import UnitState
 
@@ -76,7 +77,7 @@ class LogUnit:
         """Append one record; False (and no change) if it would overflow."""
         if self.state is not UnitState.EMPTY:
             raise RuntimeError(f"append to unit in state {self.state}")
-        data = np.asarray(data, dtype=np.uint8)
+        data = as_payload(data)
         if not self.fits(data.size):
             return False
         self.index.insert(key, offset, data)

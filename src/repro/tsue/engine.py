@@ -217,7 +217,7 @@ class TSUEEngine:
         while not pool.append(key, offset, data, self.sim.now):
             yield self._wait_space(pool)
         yield from self.osd.device.write(
-            int(np.asarray(data).size) + ENTRY_HEADER_BYTES,
+            int(data.size) + ENTRY_HEADER_BYTES,
             zone=self._pool_zone[id(pool)],
             pattern="seq",
             overwrite=False,
@@ -232,12 +232,12 @@ class TSUEEngine:
     def append_replica_datalog(self, key: BlockKey, offset: int, data: np.ndarray):
         """Replica DataLog: persisted sequentially, no memory pool (§4.1)."""
         yield from self.osd.device.write(
-            int(np.asarray(data).size) + ENTRY_HEADER_BYTES,
+            int(data.size) + ENTRY_HEADER_BYTES,
             zone="dlog_rep",
             pattern="seq",
             overwrite=False,
         )
-        self._replica_bytes += int(np.asarray(data).size)
+        self._replica_bytes += int(data.size)
 
     def append_deltalog(self, key: BlockKey, entries, primary: bool):
         """DeltaLog append: primary goes to the pool, replica persists only."""

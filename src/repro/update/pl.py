@@ -122,10 +122,10 @@ class PLStrategy(UpdateStrategy):
                         overwrite=True,
                     )
                 # Apply the exact merged bytes once (no extra simulated cost
-                # — the per-entry loop above already charged it).
-                blk = self.osd.store._materialize(pkey)
+                # — the per-entry loop above already charged it).  Routed
+                # through the store so ghost-plane coverage stays complete.
                 for seg in self.log_index.pop_block(pkey):
-                    blk[seg.offset : seg.end] ^= seg.data
+                    self.osd.store.fold_xor(pkey, seg.offset, seg.data)
 
     def drain(self, phase: int = 0):
         yield from self._recycle_all()

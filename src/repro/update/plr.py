@@ -110,15 +110,15 @@ class PLRStrategy(UpdateStrategy):
         # Log read is sequential (the region is contiguous next to the block).
         yield from self.osd.device.read(used, zone=f"plr:{pkey}", offset=0, pattern="seq")
         segs = self.log_index.pop_block(pkey)
-        blk = self.osd.store._materialize(pkey)
         chunk = self.osd.store.block_size
         base = self.osd.store.device_offset(pkey)
         yield from self.osd.device.read(chunk, zone="blocks", offset=base, pattern="rand")
         yield from self.osd.device.write(
             chunk, zone="blocks", offset=base, pattern="rand", overwrite=True
         )
+        # In-memory fold, charged above; via the store for ghost coverage.
         for seg in segs:
-            blk[seg.offset : seg.end] ^= seg.data
+            self.osd.store.fold_xor(pkey, seg.offset, seg.data)
         self.region_used[pkey] = 0
         self.region_entries[pkey] = []
 

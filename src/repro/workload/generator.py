@@ -24,6 +24,7 @@ import numpy as np
 
 # NB: no repro.traces imports here — traces.replay builds on this module,
 # so records are duck-typed (anything with .offset and .size works).
+from repro.dataplane import GhostExtent
 from repro.sim import AllOf, Resource
 from repro.sim.drawcursor import DrawCursor
 from repro.workload.arrival import ArrivalProcess, ClosedLoop
@@ -98,6 +99,16 @@ class OpenLoopGenerator:
         self._draw = DrawCursor(rng)
         self._n_tenants = len(self.tenants)
         self._read_fraction = self.spec.read_fraction
+        # Ghost plane: payloads leave the generator as metadata-only
+        # extents.  The byte draw still happens (below, in _next_op) so the
+        # shared RNG stream position — and with it every tenant/read-mix/
+        # arrival draw after it — stays bit-identical across planes.
+        # (The draw-order property tests drive this class with no client
+        # at all, hence the defensive chain.)
+        cluster = getattr(client, "cluster", None)
+        self._ghost_payloads = bool(
+            getattr(getattr(cluster, "config", None), "ghost_dataplane", False)
+        )
         self._op_streams = [
             (inode, [(r.offset, r.size) for r in records], len(records))
             for inode, records in self.tenants
@@ -118,7 +129,10 @@ class OpenLoopGenerator:
         rf = self._read_fraction
         if rf > 0 and draw.random() < rf:
             return ("read", inode, offset, size)
-        return ("update", inode, offset, draw.payload(size))
+        payload = draw.payload(size)
+        if self._ghost_payloads:
+            payload = GhostExtent(size, tag="wl")
+        return ("update", inode, offset, payload)
 
     # ------------------------------------------------------------------
     def run(self):

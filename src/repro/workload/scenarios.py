@@ -113,6 +113,15 @@ class Scenario:
     # while the smoke registry keeps the historical 4 x 200 default.
     default_clients: Optional[int] = None
     default_requests: Optional[int] = None
+    # Ghost payload plane (see repro.dataplane): metadata-only payloads.
+    # Valid only without faults — scrub/rebuild need real bytes, so
+    # run_scenario rejects the combination.  Composes with the automatic
+    # fast_dataplane selection (fault-free scenarios already run it).
+    ghost_dataplane: bool = False
+    # Cluster size override (None = the runner's 8-OSD smoke geometry).
+    # Lets scale tiers carry their intended cluster alongside their
+    # intended client count.
+    n_osds: Optional[int] = None
 
 
 SCENARIOS: Dict[str, Scenario] = {}
@@ -223,6 +232,27 @@ register_scenario(Scenario(
     default_requests=2000,
 ))
 
+# The ghost-plane scale tier: 1024 clients over 256 OSDs — geometry the
+# byte plane cannot hold in memory (every payload, log segment and block
+# would be real bytes) and the event kernel alone can.  Payloads are
+# metadata-only (``ghost_dataplane``), so this row measures scheduling,
+# queueing and consistency accounting at cluster scale; per-method rows
+# land in the bench next to ``scale_up``.  Native size targets sub-minute
+# wall for the full 7-method sweep; explicit --clients/--requests shrink
+# it the same way as every other scenario.
+register_scenario(Scenario(
+    name="scale_out",
+    description="1024 clients x 256 OSDs on the ghost payload plane "
+                "(metadata-only extents; native size, shrinks under "
+                "explicit --clients/--requests)",
+    make_arrivals=lambda: PoissonArrivals(rate=4000.0),
+    iodepth=8,
+    default_clients=1024,
+    default_requests=6,
+    ghost_dataplane=True,
+    n_osds=256,
+))
+
 
 # Failure scenarios.  Fault times are early enough to land inside even the
 # 2-client x 40-request smoke runs (~10ms of arrivals at 4k req/s) while the
@@ -299,6 +329,9 @@ class ScenarioResult:
     # across hosts; ``results_to_json`` publishes it as a separate ``perf``
     # section instead.
     perf: Optional[Dict[str, float]] = None
+    # Which payload plane the run used.  Serialized (and rendered) only
+    # when True so every pre-existing baseline row stays bit-identical.
+    ghost_dataplane: bool = False
 
     @property
     def consistent(self) -> bool:
@@ -332,6 +365,8 @@ class ScenarioResult:
         }
         if self.recovery is not None:
             out["recovery"] = dict(self.recovery)
+        if self.ghost_dataplane:
+            out["ghost_dataplane"] = True
         return out
 
     def render(self) -> str:
@@ -380,6 +415,8 @@ def scenario_config(
     method: str = "tsue",
     device: str = "ssd",
     fast_dataplane: bool = False,
+    ghost_dataplane: bool = False,
+    n_osds: int = 8,
 ):
     """The smoke-scale cluster geometry every scenario runs against."""
     from repro.harness.experiment import ExperimentConfig
@@ -389,7 +426,7 @@ def scenario_config(
         trace="ten",
         k=4,
         m=2,
-        n_osds=8,
+        n_osds=n_osds,
         n_clients=n_clients,
         updates_per_client=requests_per_client,
         block_size=32 * 1024,
@@ -398,6 +435,7 @@ def scenario_config(
         seed=seed,
         verify=False,
         fast_dataplane=fast_dataplane,
+        ghost_dataplane=ghost_dataplane,
     )
 
 
@@ -408,6 +446,7 @@ def run_scenario(
     requests_per_client: Optional[int] = None,
     method: str = "tsue",
     device: str = "ssd",
+    ghost_dataplane: Optional[bool] = None,
 ) -> ScenarioResult:
     """Run one named scenario end to end (pure function of its arguments).
 
@@ -415,6 +454,11 @@ def run_scenario(
     scenario's native size" — the registry default of 4 x 200 for the
     smoke scenarios, 32 x 2000 for ``scale_up``.  Explicit values always
     win (CI smokes shrink every scenario the same way).
+
+    ``ghost_dataplane=None`` means "the scenario's own plane" (True only
+    for ``scale_out``); an explicit value overrides it.  Ghost runs of
+    fault scenarios are rejected up front: scrub and rebuild need real
+    payload bytes.
     """
     import resource as _resource
     import time as _time
@@ -435,6 +479,15 @@ def run_scenario(
         n_clients = scenario.default_clients or 4
     if requests_per_client is None:
         requests_per_client = scenario.default_requests or 200
+    ghost = (
+        scenario.ghost_dataplane if ghost_dataplane is None else ghost_dataplane
+    )
+    if ghost and scenario.faults:
+        raise ValueError(
+            f"scenario {name!r} injects faults; the ghost payload plane "
+            "cannot serve scrub/rebuild (real bytes required) — run it on "
+            "the byte plane"
+        )
     # repro-lint: allow(det-wallclock) -- machine-local perf section, excluded from the determinism gates
     wall_t0 = _time.perf_counter()
     # repro-lint: allow(det-wallclock) -- CPU-time twin of wall_t0; wall is noisy on shared 1-core CI boxes
@@ -445,6 +498,8 @@ def run_scenario(
     cfg = scenario_config(
         seed, n_clients, requests_per_client, method, device,
         fast_dataplane=not scenario.faults,
+        ghost_dataplane=ghost,
+        n_osds=scenario.n_osds or 8,
     )
     cluster = build_cluster(cfg)
     sim = cluster.sim
@@ -625,6 +680,8 @@ def run_scenario(
         ),
         "fast_dataplane": float(cfg.fast_dataplane),
     }
+    if cfg.ghost_dataplane:
+        perf_section["ghost_dataplane"] = 1.0
     return ScenarioResult(
         name=name,
         method=method,
@@ -645,6 +702,7 @@ def run_scenario(
         lock_wait_p99=wait_p99,
         recovery=recovery_section,
         perf=perf_section,
+        ghost_dataplane=cfg.ghost_dataplane,
     )
 
 
@@ -816,16 +874,19 @@ def results_to_json(
     method_rows: Sequence[ScenarioResult] = (),
     recovery_rows: Sequence[ScenarioResult] = (),
     scale_up_rows: Sequence[ScenarioResult] = (),
+    scale_out_rows: Sequence[ScenarioResult] = (),
 ) -> dict:
     """The ``BENCH_scenarios.json`` baseline payload.
 
     ``recovery_rows`` is a per-method sweep of a failure scenario — the
     Fig. 8b-style table (recovery MB/s, degraded p99, foreground dip per
     method) lands under ``"recovery"``; ``scale_up_rows`` is the
-    per-method sweep of the 10x ``scale_up`` tier.  The ``perf`` section
-    is wall-clock measurement (seconds, kernel events/sec, peak RSS) —
-    machine-dependent, kept OUT of the simulated-output rows so those stay
-    bit-exact across hosts; determinism gates must ignore it.
+    per-method sweep of the 10x ``scale_up`` tier; ``scale_out_rows`` is
+    the per-method sweep of the ghost-plane ``scale_out`` tier (1024
+    clients x 256 OSDs).  The ``perf`` section is wall-clock measurement
+    (seconds, kernel events/sec, peak RSS) — machine-dependent, kept OUT
+    of the simulated-output rows so those stay bit-exact across hosts;
+    determinism gates must ignore it.
     """
     payload = {
         "bench": "scenarios",
@@ -843,10 +904,18 @@ def results_to_json(
         payload["scale_up"] = {
             r.method: r.to_dict() for r in scale_up_rows
         }
+    if scale_out_rows:
+        payload["scale_out"] = {
+            r.method: r.to_dict() for r in scale_out_rows
+        }
     perf = {r.name: dict(r.perf) for r in results if r.perf}
     if scale_up_rows:
         perf.update(
             {f"scale_up/{r.method}": dict(r.perf) for r in scale_up_rows if r.perf}
+        )
+    if scale_out_rows:
+        perf.update(
+            {f"scale_out/{r.method}": dict(r.perf) for r in scale_out_rows if r.perf}
         )
     if perf:
         payload["perf"] = perf

@@ -1,0 +1,49 @@
+"""Known-negative corpus for the payload-plane discipline rule.
+
+Plane branches in non-generators (constructors, materialization helpers)
+are exactly where the discipline says the decision belongs; generators
+may branch on anything that is not a plane flag.
+"""
+
+
+class Store:
+    def __init__(self, sim, ghost=False):
+        # Plane bound once, at construction: the blessed pattern.
+        if ghost:
+            self._new_block = self._new_ghost_block
+        else:
+            self._new_block = self._new_byte_block
+
+    def _new_ghost_block(self):
+        return None
+
+    def _new_byte_block(self):
+        return bytearray(16)
+
+
+def as_payload_helper(data, ghost_dataplane):
+    # Non-generator materialization helper: dispatch is allowed here.
+    if ghost_dataplane:
+        return None
+    return bytes(data)
+
+
+def generator_branches_on_other_flags(self, cost):
+    if self.fast_plane:  # not a plane flag: clean
+        yield cost
+    else:
+        yield from self.slow_path(cost)
+
+
+def generator_mentions_ghost_root_only(ghostwriter):
+    # The *last* dotted component names the flag; `ghostwriter.page`
+    # is not a plane flag.
+    if ghostwriter.page:
+        yield 1.0
+
+
+def generator_with_nested_helper(self, data):
+    def pick(ghost):
+        return None if ghost else data
+
+    yield pick(self.cfg_ghost_off())

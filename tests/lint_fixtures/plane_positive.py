@@ -1,0 +1,22 @@
+"""Known-positive corpus for the payload-plane discipline rule.
+
+Every branch here tests a plane flag *inside a generator function*;
+``tests/test_lint.py`` asserts the exact rule and count.
+"""
+
+
+def ghost_if_in_generator(self, key, data):
+    if self.ghost:  # plane-branch (If on an attribute flag)
+        yield 0.0
+    else:
+        yield from self.device.write(data.size)
+
+
+def ghost_ifexp_in_generator(cfg, cost):
+    charge = 0.0 if cfg.ghost_dataplane else cost  # plane-branch (IfExp)
+    yield charge
+
+
+def ghost_while_in_generator(store, ghost_mode):
+    while not ghost_mode:  # plane-branch (While on a bare name)
+        yield 0.1

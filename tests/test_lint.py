@@ -107,6 +107,24 @@ def test_hotpath_rules_scoped_to_hot_modules():
     assert rule_counts(lint("hot_positive.py")) == {}
 
 
+def test_plane_rules_fire():
+    counts = rule_counts(lint("plane_positive.py"))
+    assert counts == {"plane-branch": 3}
+
+
+def test_plane_rules_negative():
+    # Constructors and non-generator helpers may branch on the flag;
+    # generators may branch on non-plane flags; only the last dotted
+    # component of a test name identifies a plane flag.
+    assert rule_counts(lint("plane_negative.py")) == {}
+
+
+def test_plane_rule_scoped_by_markers():
+    # An empty marker tuple disables the rule entirely.
+    cfg = LintConfig(plane_flag_markers=())
+    assert rule_counts(lint("plane_positive.py", config=cfg)) == {}
+
+
 def test_baseline_rules_fire():
     counts = rule_counts(lint("baseline_positive.py"))
     assert counts == {"dead-import": 3, "unreachable-code": 2}
@@ -214,7 +232,8 @@ def test_every_rule_has_fixture_coverage():
     # registered rule id fires somewhere in the positive fixtures.
     fired = set()
     for name in ("det_positive.py", "locks_positive.py",
-                 "alias_positive.py", "baseline_positive.py"):
+                 "alias_positive.py", "baseline_positive.py",
+                 "plane_positive.py"):
         fired |= set(rule_counts(lint(name)))
     fired |= set(rule_counts(lint("hot_positive.py", config=HOT_CONFIG)))
     registered = {r.id for r in all_rules()}

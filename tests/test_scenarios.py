@@ -173,6 +173,69 @@ def test_cli_bench_writes_json_baseline(tmp_path, capsys):
     assert set(payload["methods"]) == {"fo", "tsue"}
 
 
+def test_cli_bench_scale_out_rows(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "bench.json"
+    base = ["bench", "--clients", "2", "--requests", "10",
+            "--scenarios", "steady", "--methods", "tsue", "fl",
+            "--recovery-scenario", "none", "--scale-up-scenario", "none"]
+    rc = main(base + ["--json", str(path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ghost-plane cluster rows (scale_out)" in out
+    payload = json.loads(path.read_text())
+    assert set(payload["scale_out"]) == {"tsue", "fl"}
+    for row in payload["scale_out"].values():
+        assert row["ghost_dataplane"] is True
+        assert row["consistent"] is True
+    assert payload["perf"]["scale_out/tsue"]["ghost_dataplane"] == 1.0
+    # Registry rows stay plane-free: no ghost key anywhere in them.
+    for row in payload["scenarios"].values():
+        assert "ghost_dataplane" not in row
+    # "none" skips the sweep entirely.
+    rc = main(base + ["--scale-out-scenario", "none", "--json", str(path)])
+    assert rc == 0
+    capsys.readouterr()
+    assert "scale_out" not in json.loads(path.read_text())
+
+
+def test_baseline_drift_reports_leaf_paths():
+    from repro.cli import _baseline_drift
+
+    base = {
+        "scenarios": {
+            "steady": {"iops": 1.0, "recovery": {"drain_s": 0.1},
+                       "gone": 4},
+        },
+        "recovery": {"tsue": {"p99": 5.0}},
+        "scale_out": {"fl": {"updates": 10}},
+        "perf": {"steady": {"wall_s": 1.0}},
+    }
+    new = {
+        "scenarios": {
+            "steady": {"iops": 2.0, "recovery": {"drain_s": 0.1},
+                       "fresh": 9},
+            "burst": {"iops": 3.0},
+        },
+        "scale_out": {"fl": {"updates": 12}},
+        "perf": {"steady": {"wall_s": 9.0}},
+    }
+    drift = _baseline_drift(base, new)
+    # Leaf cells report dotted paths with old -> new values; unchanged
+    # nested leaves (recovery.drain_s) stay silent.
+    assert "scenarios.steady.iops: 1.0 -> 2.0" in drift
+    assert "scale_out.fl.updates: 10 -> 12" in drift
+    assert "scenarios.steady.gone: 4 -> <absent>" in drift
+    assert "scenarios.steady.fresh: <absent> -> 9" in drift
+    assert ("recovery.tsue: present in baseline, missing from this run"
+            in drift)
+    assert not any("drain_s" in d for d in drift)
+    # New rows are additions, not drift; perf is ignored entirely.
+    assert not any("burst" in d or "perf" in d for d in drift)
+    assert _baseline_drift(base, base) == []
+
+
 def test_cli_bench_scenario_subset_and_no_methods(tmp_path, capsys):
     from repro.cli import main
 
