@@ -1,0 +1,163 @@
+"""Content-hash-keyed summary cache for the whole-program pass.
+
+PR 6's per-file rules were trivially incremental because they had no
+cross-file state; the whole-program layer breaks that, so this cache
+restores it DBSP-style — recompute the *change*, not the view:
+
+* per-file entries (extracted model, raw per-file findings, parsed
+  suppressions) are keyed by the file's content sha256: an untouched
+  file is never re-parsed;
+* the interprocedural view scan (the only ipd rule that needs the AST)
+  is additionally keyed by a hash of the file's *view dependencies* —
+  every call reference it makes, resolved, with the callee's
+  returns-view bit.  Editing a helper so it starts (or stops) returning
+  a view invalidates exactly the callers whose resolution map changed;
+* everything else ipd computes (fixpoint, lock/ghost/det/rpc checks) is
+  pure arithmetic over the cached models and is recomputed every run —
+  re-deriving it is cheaper than invalidating it correctly.
+
+The whole cache is invalidated wholesale when the analysis version, the
+selected rule set, or the config changes (a ``fingerprint`` field), and
+a corrupt or unreadable cache file degrades to a cold run — the cache
+can change *when* work happens, never *what* the report says.  Cold and
+warm runs are byte-identical by construction: cached values are exactly
+the values the cold path would recompute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import Finding, LintConfig, Suppression
+from repro.analysis.graph import MODEL_VERSION
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_NAME = ".repro-lint-cache"
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def fingerprint(config: LintConfig, rule_ids: Sequence[str]) -> str:
+    """One hash over everything that changes analysis semantics."""
+    payload = json.dumps(
+        {
+            "cache": CACHE_VERSION,
+            "model": MODEL_VERSION,
+            "rules": sorted(rule_ids),
+            "config": repr(config),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _sup_to_list(sup: Suppression) -> list:
+    return [sup.comment_line, sup.target_line, list(sup.rules), sup.reason]
+
+
+def _sup_from_list(data: list) -> Suppression:
+    return Suppression(data[0], data[1], tuple(data[2]), data[3])
+
+
+class SummaryCache:
+    """The on-disk store; tolerant of absence, corruption, staleness."""
+
+    def __init__(self, path: str, fp: str):
+        self.path = path
+        self.fp = fp
+        self._files: Dict[str, dict] = {}
+        self._loaded_warm = False
+        self._load()
+
+    @property
+    def was_warm(self) -> bool:
+        """True when a compatible cache file existed at load time."""
+        return self._loaded_warm
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if (not isinstance(data, dict)
+                or data.get("fingerprint") != self.fp
+                or not isinstance(data.get("files"), dict)):
+            return
+        self._files = data["files"]
+        self._loaded_warm = True
+
+    # -- per-file entries ----------------------------------------------
+    def get_file(self, path: str, sha: str) -> Optional[
+        Tuple[Optional[dict], List[Finding], List[Suppression]]
+    ]:
+        entry = self._files.get(path)
+        if not isinstance(entry, dict) or entry.get("sha") != sha:
+            return None
+        try:
+            findings = [Finding.from_dict(d) for d in entry["findings"]]
+            sups = [_sup_from_list(s) for s in entry["suppressions"]]
+            return entry.get("model"), findings, sups
+        except (KeyError, TypeError, IndexError):
+            return None
+
+    def put_file(self, path: str, sha: str, model: Optional[dict],
+                 findings: Sequence[Finding],
+                 suppressions: Sequence[Suppression]) -> None:
+        self._files[path] = {
+            "sha": sha,
+            "model": model,
+            "findings": [f.to_dict() for f in findings],
+            "suppressions": [_sup_to_list(s) for s in suppressions],
+        }
+
+    # -- view-scan entries (file hash + dependency-summary hash) -------
+    def get_view(self, path: str, sha: str,
+                 dep: str) -> Optional[List[Finding]]:
+        entry = self._files.get(path)
+        if not isinstance(entry, dict) or entry.get("sha") != sha:
+            return None
+        view = entry.get("view")
+        if not isinstance(view, dict) or view.get("dep") != dep:
+            return None
+        try:
+            return [Finding.from_dict(d) for d in view["findings"]]
+        except (KeyError, TypeError):
+            return None
+
+    def put_view(self, path: str, sha: str, dep: str,
+                 findings: Sequence[Finding]) -> None:
+        entry = self._files.get(path)
+        if not isinstance(entry, dict) or entry.get("sha") != sha:
+            return
+        entry["view"] = {"dep": dep,
+                         "findings": [f.to_dict() for f in findings]}
+
+    # -- persistence ---------------------------------------------------
+    def prune(self, live_paths: Sequence[str]) -> None:
+        """Drop entries for files no longer in the analyzed set."""
+        live = set(live_paths)
+        for path in [p for p in self._files if p not in live]:
+            del self._files[path]
+
+    def save(self) -> None:
+        data = {
+            "fingerprint": self.fp,
+            "files": {p: self._files[p] for p in sorted(self._files)},
+        }
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(data, fh, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except OSError:
+            # A read-only checkout degrades to always-cold, never fails.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

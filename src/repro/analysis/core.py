@@ -35,8 +35,10 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 # Meta rule ids emitted by the framework itself (not registered rules).
 SUPPRESSION_MISSING_REASON = "suppression-missing-reason"
 UNUSED_SUPPRESSION = "unused-suppression"
+SUPPRESSION_SYNTAX = "suppression-syntax"
 PARSE_ERROR = "parse-error"
-META_RULES = (SUPPRESSION_MISSING_REASON, UNUSED_SUPPRESSION, PARSE_ERROR)
+META_RULES = (SUPPRESSION_MISSING_REASON, UNUSED_SUPPRESSION,
+              SUPPRESSION_SYNTAX, PARSE_ERROR)
 
 
 @dataclass
@@ -67,6 +69,15 @@ class Finding:
             "suppress_reason": self.suppress_reason,
         }
 
+    @staticmethod
+    def from_dict(data: dict) -> "Finding":
+        return Finding(
+            rule=data["rule"], path=data["path"], line=data["line"],
+            col=data["col"], message=data["message"], fixit=data["fixit"],
+            suppressed=data.get("suppressed", False),
+            suppress_reason=data.get("suppress_reason"),
+        )
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -88,6 +99,26 @@ class LintConfig:
     # ``__init__.py`` re-exports names on purpose; the dead-import rule
     # skips them unless configured otherwise.
     dead_import_skip_init: bool = True
+    # ------------------------------------------------------------------
+    # whole-program knobs (the ipd/rpc families; see analysis/graph.py)
+    # ------------------------------------------------------------------
+    # Modules whose functions never export may-block: simulated device /
+    # store I/O time charged inside a critical section is the modelled
+    # cost of the RMW itself, not a lock-discipline violation.
+    lock_transparent_parts: Tuple[str, ...] = (
+        "repro/sim/", "repro/devices/", "repro/fs/blockstore.py",
+    )
+    # The RPC transport layer forwards caller-supplied message kinds by
+    # design; its variable-kind sends don't count as dynamic protocol
+    # sends (which would disable dead-handler checking project-wide).
+    rpc_transport_parts: Tuple[str, ...] = ("repro/fs/messages.py",)
+    # Function names whose bodies ingest payloads of either plane: the
+    # roots of ghost-reachability for ipd-ghost-materialize.
+    ghost_entry_names: Tuple[str, ...] = (
+        "on_update", "_h_write_block", "_h_update", "_h_read",
+    )
+    # Bench-row producers: determinism taint must never reach them.
+    row_producer_names: Tuple[str, ...] = ("to_dict",)
 
 
 _SUPPRESS_RE = re.compile(
@@ -137,7 +168,11 @@ def parse_suppressions(lines: Sequence[str]) -> List[Suppression]:
         m = _SUPPRESS_RE.match(text)
         if not m:
             continue
-        rules = tuple(r.strip() for r in m.group(1).split(",") if r.strip())
+        # Rule lists split on commas *and* bare whitespace: before this,
+        # `allow(rule-a rule-b)` parsed as one bogus rule id that matched
+        # nothing and then fired `unused-suppression` with a confusing
+        # message.
+        rules = tuple(r for r in re.split(r"[\s,]+", m.group(1)) if r)
         reason = m.group(2).strip() if m.group(2) else None
         target = lineno
         if not lines[lineno - 1][:col].strip():
@@ -245,6 +280,33 @@ class Rule:
         )
 
 
+class ProjectRule:
+    """Base for whole-program rules (the ``ipd``/``rpc`` families).
+
+    A project rule checks the fixpoint-solved project model built by
+    :mod:`repro.analysis.graph` instead of one file's AST, so it can see
+    facts that flow through calls (``check`` receives the
+    ``graph.Project``).  Findings still anchor to one concrete source
+    location — the call site or definition that witnesses the violation
+    — so the same line-based suppression machinery applies unchanged.
+    """
+
+    id: str = ""
+    family: str = ""
+    description: str = ""
+    fixit: str = ""
+
+    def check(self, project: "object") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, col: int, message: str,
+                fixit: Optional[str] = None) -> Finding:
+        return Finding(
+            rule=self.id, path=path, line=line, col=col, message=message,
+            fixit=fixit if fixit is not None else self.fixit,
+        )
+
+
 # ----------------------------------------------------------------------
 # drivers
 # ----------------------------------------------------------------------
@@ -273,10 +335,16 @@ def iter_python_files(paths: Sequence[str],
                     yield full
 
 
-def analyze_file(path: str, rules: Sequence[Rule],
-                 config: Optional[LintConfig] = None,
-                 source: Optional[str] = None) -> List[Finding]:
-    """Run ``rules`` over one file; apply and audit suppressions."""
+def load_context(path: str, config: Optional[LintConfig] = None,
+                 source: Optional[str] = None,
+                 ) -> Tuple[Optional[FileContext], List[Finding]]:
+    """Read and parse one file.
+
+    Returns ``(ctx, [])`` on success, ``(None, [parse-error finding])``
+    when the file does not parse.  Factored out of :func:`analyze_file`
+    so the whole-program driver can parse once and feed the same tree to
+    both the per-file rules and the summary extractor.
+    """
     config = config or LintConfig()
     if source is None:
         with open(path, encoding="utf-8") as fh:
@@ -284,24 +352,39 @@ def analyze_file(path: str, rules: Sequence[Rule],
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [Finding(
+        return None, [Finding(
             rule=PARSE_ERROR, path=path, line=exc.lineno or 1,
             col=(exc.offset or 0) + 1,
             message=f"cannot parse: {exc.msg}",
             fixit="fix the syntax error; unparseable files are unanalyzable "
                   "and fail the gate",
         )]
-    ctx = FileContext(path, source, tree, config)
+    return FileContext(path, source, tree, config), []
+
+
+def run_rules(ctx: FileContext, rules: Sequence[Rule]) -> List[Finding]:
+    """Raw (pre-suppression) findings from every rule over one file."""
     findings: List[Finding] = []
     for rule in rules:
         findings.extend(rule.check(ctx))
+    return findings
 
-    suppressions = parse_suppressions(ctx.lines)
+
+def apply_suppressions(findings: Sequence[Finding],
+                       suppressions: Sequence[Suppression]) -> None:
+    """Mark suppressed findings in place; record rule usage on the allows.
+
+    Callable more than once over the same suppression list (the project
+    driver applies it to per-file findings first, then again to the
+    interprocedural findings) — ``used_rules`` accumulates across calls
+    so the audit sees the union.
+    """
     by_line: Dict[int, List[Suppression]] = {}
     for sup in suppressions:
         by_line.setdefault(sup.target_line, []).append(sup)
-
     for f in findings:
+        if f.suppressed:
+            continue
         for sup in by_line.get(f.line, ()):
             if f.rule in sup.rules:
                 f.suppressed = True
@@ -309,9 +392,28 @@ def analyze_file(path: str, rules: Sequence[Rule],
                 sup.used_rules.add(f.rule)
                 break
 
-    # Suppression audit: missing reasons and dead allows are findings in
-    # their own right (and are never themselves suppressible).
+
+def audit_suppressions(path: str,
+                       suppressions: Sequence[Suppression]) -> List[Finding]:
+    """Meta findings: malformed, unjustified, and dead suppressions.
+
+    Run *after* every :func:`apply_suppressions` pass over this file's
+    findings — an allow() counts as used if any pass consumed it.
+    """
+    findings: List[Finding] = []
     for sup in suppressions:
+        if not sup.rules:
+            # `allow()` with no rule ids suppresses nothing and, before
+            # this audit existed, produced no finding either — silent
+            # dead weight in the exception inventory.
+            findings.append(Finding(
+                rule=SUPPRESSION_SYNTAX, path=path,
+                line=sup.comment_line, col=1,
+                message="allow() names no rules — it suppresses nothing",
+                fixit="write `allow(<rule-id>[, <rule-id>...]) -- <reason>` "
+                      "or delete the comment",
+            ))
+            continue
         if sup.reason is None:
             findings.append(Finding(
                 rule=SUPPRESSION_MISSING_REASON, path=path,
@@ -331,6 +433,20 @@ def analyze_file(path: str, rules: Sequence[Rule],
                     fixit="delete the stale allow() (or fix its rule name); "
                           "dead suppressions hide future violations",
                 ))
+    return findings
+
+
+def analyze_file(path: str, rules: Sequence[Rule],
+                 config: Optional[LintConfig] = None,
+                 source: Optional[str] = None) -> List[Finding]:
+    """Run ``rules`` over one file; apply and audit suppressions."""
+    ctx, findings = load_context(path, config, source)
+    if ctx is None:
+        return findings
+    findings = run_rules(ctx, rules)
+    suppressions = parse_suppressions(ctx.lines)
+    apply_suppressions(findings, suppressions)
+    findings.extend(audit_suppressions(path, suppressions))
     return findings
 
 

@@ -1,0 +1,204 @@
+"""The whole-program driver: cache-aware analysis over a file set.
+
+Composition order per run:
+
+1. every file is hashed; cache hits restore (model, raw per-file
+   findings, suppressions) without re-parsing, misses parse once and
+   feed the same tree to the per-file rules and the summary extractor;
+2. the project model is assembled and the summary fixpoint solved —
+   always, from all models, cached or fresh (pure arithmetic, no I/O);
+3. graph-math project rules run over the solved model; the AST-scanning
+   view rule runs per file, keyed by (content hash, view-dependency
+   hash) so a warm run re-scans only files whose inputs changed;
+4. suppressions are applied to the union of per-file and project
+   findings for each file — one allow() can silence either generation —
+   and then audited once, so ``unused-suppression`` accounts for both.
+
+``--changed`` scoping filters the *report* (changed files plus the
+files whose summaries depend on them), never the analysis: summaries
+are whole-program by definition, and the warm cache is what makes the
+full pass cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.cache import SummaryCache, content_hash, fingerprint
+from repro.analysis.core import (
+    Finding,
+    LintConfig,
+    ProjectRule,
+    Rule,
+    Suppression,
+    apply_suppressions,
+    audit_suppressions,
+    iter_python_files,
+    load_context,
+    parse_suppressions,
+    run_rules,
+)
+from repro.analysis.graph import (
+    RETURNS_VIEW,
+    Project,
+    build_project,
+    extract_model,
+)
+
+
+@dataclass
+class ProjectResult:
+    findings: List[Finding]
+    project: Project
+    cache_was_warm: bool = False
+
+
+def _view_dep_hash(project: Project, model: dict) -> str:
+    """Hash of everything the view scan of one file depends on.
+
+    For every call reference the file makes: the resolved callee set and
+    each callee's returns-view bit.  A helper edit that flips a callee's
+    summary — or changes resolution itself (new override, renamed class)
+    — changes the hash; anything else leaves it untouched.
+    """
+    items: List[list] = []
+    mod = model["module"]
+    for qual in sorted(model.get("functions", ())):
+        info = project.functions.get(f"{mod}:{qual}")
+        if info is None:
+            continue
+        for ref, *_site in info.calls:
+            resolved = project.resolve_ref(info, ref)
+            items.append([
+                info.key, ref,
+                [k for k in resolved
+                 if project.functions[k].facts & RETURNS_VIEW],
+            ])
+    payload = json.dumps(items, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _report_scope(project: Project, files: Sequence[str],
+                  changed: Set[str]) -> Set[str]:
+    """Changed files plus their reverse summary dependents.
+
+    A caller's ipd findings can change when a callee's summary does, so
+    the scoped report includes every file holding a function that
+    resolves a call into a changed file.
+    """
+    real = {os.path.realpath(p): p for p in files}
+    scope = {real[c] for c in (os.path.realpath(c) for c in changed)
+             if c in real}
+    by_path: Dict[str, Set[str]] = {}
+    for info in project.functions.values():
+        for callee in info.callees:
+            callee_path = project.functions[callee].path
+            if callee_path != info.path:
+                by_path.setdefault(callee_path, set()).add(info.path)
+    for path in list(scope):
+        scope.update(by_path.get(path, ()))
+    return scope
+
+
+def analyze_project(
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+    prules: Sequence[ProjectRule],
+    config: Optional[LintConfig] = None,
+    cache_path: Optional[str] = None,
+    changed: Optional[Set[str]] = None,
+) -> ProjectResult:
+    """Full analysis: per-file rules + whole-program rules + audit."""
+    config = config or LintConfig()
+    files = list(iter_python_files(paths, config))
+
+    cache: Optional[SummaryCache] = None
+    if cache_path is not None:
+        rule_ids = [r.id for r in rules] + [r.id for r in prules]
+        cache = SummaryCache(cache_path, fingerprint(config, rule_ids))
+
+    sources: Dict[str, Tuple[str, str]] = {}      # path -> (source, sha)
+    per_file: Dict[str, List[Finding]] = {}
+    sups: Dict[str, List[Suppression]] = {}
+    models: Dict[str, dict] = {}
+
+    for path in files:
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        sha = content_hash(source)
+        sources[path] = (source, sha)
+        hit = cache.get_file(path, sha) if cache else None
+        if hit is not None:
+            model, findings, suppressions = hit
+        else:
+            ctx, findings = load_context(path, config, source)
+            if ctx is None:
+                model, suppressions = None, []
+            else:
+                findings = run_rules(ctx, rules)
+                suppressions = parse_suppressions(ctx.lines)
+                model = extract_model(ctx, suppressions)
+            if cache:
+                cache.put_file(path, sha, model, findings, suppressions)
+        per_file[path] = findings
+        sups[path] = suppressions
+        if model is not None:
+            models[path] = model
+
+    project = build_project(models, config)
+
+    proj_findings: Dict[str, List[Finding]] = {}
+
+    def add(finding: Finding) -> None:
+        proj_findings.setdefault(finding.path, []).append(finding)
+
+    ast_rules: List[ProjectRule] = []
+    for prule in prules:
+        if getattr(prule, "needs_ast", False):
+            ast_rules.append(prule)
+            continue
+        for finding in prule.check(project):
+            add(finding)
+
+    for prule in ast_rules:
+        for path in files:
+            model = models.get(path)
+            if model is None:
+                continue
+            source, sha = sources[path]
+            dep = _view_dep_hash(project, model)
+            cached = cache.get_view(path, sha, dep) if cache else None
+            if cached is not None:
+                findings = cached
+            else:
+                ctx, _errs = load_context(path, config, source)
+                findings = prule.scan_file(ctx, project) if ctx else []
+                if cache:
+                    cache.put_view(path, sha, dep, findings)
+            for finding in findings:
+                add(finding)
+
+    all_findings: List[Finding] = []
+    for path in files:
+        combined = per_file[path] + proj_findings.get(path, [])
+        apply_suppressions(combined, sups[path])
+        combined.extend(audit_suppressions(path, sups[path]))
+        all_findings.extend(combined)
+
+    if changed is not None:
+        scope = _report_scope(project, files, changed)
+        all_findings = [f for f in all_findings if f.path in scope]
+
+    all_findings.sort(key=Finding.sort_key)
+
+    warm = False
+    if cache:
+        warm = cache.was_warm
+        cache.prune(files)
+        cache.save()
+    return ProjectResult(findings=all_findings, project=project,
+                         cache_was_warm=warm)

@@ -60,3 +60,39 @@ def render_json(findings: Sequence[Finding]) -> str:
         },
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _gha_escape(value: str, property_value: bool = False) -> str:
+    """GitHub Actions workflow-command data escaping."""
+    out = value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property_value:
+        out = out.replace(":", "%3A").replace(",", "%2C")
+    return out
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions ``::error`` annotations, one per active finding.
+
+    Emitted to stdout inside the CI lint job so strict-gate findings
+    render inline on the PR diff.  Suppressed findings are omitted —
+    they are accepted exceptions, not review feedback.
+    """
+    active = [f for f in findings if not f.suppressed]
+    out: List[str] = []
+    for f in active:
+        message = f"[{f.rule}] {f.message}"
+        if f.fixit:
+            message += f" | fix: {f.fixit}"
+        out.append(
+            "::error file={file},line={line},col={col},title={title}::"
+            "{message}".format(
+                file=_gha_escape(f.path, property_value=True),
+                line=f.line,
+                col=f.col,
+                title=_gha_escape(f"repro-lint {f.rule}",
+                                  property_value=True),
+                message=_gha_escape(message),
+            )
+        )
+    out.append(f"{len(active)} finding(s)")
+    return "\n".join(out)

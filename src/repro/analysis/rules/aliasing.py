@@ -26,29 +26,16 @@ reasons cover the rare intentional case.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.analysis.core import FileContext, Finding, Rule
-
-# Call attribute names that return zero-copy views of live storage.
-_VIEW_SOURCES = frozenset({
-    "read_range", "peek", "lookup", "lookup_partial", "cache_lookup_partial",
-})
+from repro.analysis.vocab import view_call as _view_call
 
 
-def _view_call(node: ast.AST) -> Optional[ast.Call]:
-    """The view-returning Call inside ``node`` (unwrapping yield-from)."""
-    if isinstance(node, (ast.YieldFrom, ast.Await)):
-        node = node.value
-    if (isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr in _VIEW_SOURCES):
-        if node.func.attr == "peek" and not (node.args or node.keywords):
-            # Zero-arg ``peek()`` is ``Simulator.peek`` (next event time,
-            # a float) — only ``BlockStore.peek(key)`` returns a view.
-            return None
-        return node
-    return None
+def _direct_view_source(node: ast.AST) -> Optional[str]:
+    """Source description when ``node`` is a direct view-returning call."""
+    call = _view_call(node)
+    return call.func.attr if call is not None else None
 
 
 class _Taint:
@@ -61,12 +48,25 @@ class _Taint:
 
 
 class _FunctionScan:
-    """Source-order event scan of one function body."""
+    """Source-order event scan of one function body.
 
-    def __init__(self, rule: Rule, ctx: FileContext, func: ast.FunctionDef):
+    ``view_source`` classifies an expression: it returns a human-readable
+    source description when the expression produces a zero-copy view, or
+    None.  The per-file rules use the lexical ``read_range``/``peek``
+    tables; the interprocedural ``ipd-view-across-yield`` rule plugs in a
+    summary-based predicate (helper calls whose transitive return value
+    is a view) and reuses the exact same lifetime scan, so the two rule
+    generations can never disagree about what "used across a yield"
+    means.
+    """
+
+    def __init__(self, rule: Rule, ctx: FileContext, func: ast.FunctionDef,
+                 view_source: Callable[[ast.AST], Optional[str]]
+                 = _direct_view_source):
         self.rule = rule
         self.ctx = ctx
         self.func = func
+        self.view_source = view_source
         self.epoch = 0
         self.taints: Dict[str, _Taint] = {}
         self.findings: List[Finding] = []
@@ -105,12 +105,12 @@ class _FunctionScan:
             self._visit(child)
 
     def _assign(self, targets: List[ast.AST], value: ast.AST) -> None:
-        call = _view_call(value)
+        source = self.view_source(value)
         for target in targets:
             if isinstance(target, ast.Name):
-                if call is not None:
+                if source is not None:
                     self.taints[target.id] = _Taint(
-                        self.epoch, call.func.attr, target.lineno
+                        self.epoch, source, target.lineno
                     )
                 else:
                     # Any other reassignment (including an explicit

@@ -19,36 +19,12 @@ import ast
 from typing import Iterator, Optional
 
 from repro.analysis.core import FileContext, Finding, Rule
-
-_WALLCLOCK_CALLS = frozenset({
-    "time.time", "time.time_ns",
-    "time.monotonic", "time.monotonic_ns",
-    "time.perf_counter", "time.perf_counter_ns",
-    "time.process_time", "time.process_time_ns",
-    "time.thread_time", "time.thread_time_ns",
-    "datetime.datetime.now", "datetime.datetime.utcnow",
-    "datetime.date.today",
-})
-
-_ENTROPY_CALLS = frozenset({
-    "os.urandom", "os.getrandom",
-    "uuid.uuid1", "uuid.uuid4",
-})
-
-# Seedable constructors: fine with an explicit seed argument, ambient
-# entropy (and therefore flagged) when called with no arguments.
-_SEEDABLE = frozenset({
-    "random.Random", "random.SystemRandom",
-    "numpy.random.default_rng", "numpy.random.SeedSequence",
-    "numpy.random.Generator", "numpy.random.PCG64", "numpy.random.MT19937",
-    "numpy.random.Philox", "numpy.random.RandomState",
-})
-
-# Filesystem enumerations whose order is readdir-dependent.
-_FS_ORDER_CALLS = frozenset({
-    "os.listdir", "os.scandir", "os.walk",
-    "glob.glob", "glob.iglob",
-})
+from repro.analysis.vocab import (
+    ENTROPY_CALLS as _ENTROPY_CALLS,
+    FS_ORDER_CALLS as _FS_ORDER_CALLS,
+    SEEDABLE_CALLS as _SEEDABLE,
+    WALLCLOCK_CALLS as _WALLCLOCK_CALLS,
+)
 
 
 class WallClockRule(Rule):

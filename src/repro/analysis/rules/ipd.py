@@ -1,0 +1,269 @@
+"""Interprocedural rules: the transitive closures of the per-file gates.
+
+Each rule here generalizes one intraprocedural family across call
+boundaries using the solved summaries from :mod:`repro.analysis.graph`,
+and deliberately excludes the sites its per-file counterpart already
+reports — a violation is flagged exactly once, by the most precise rule
+that can see it:
+
+* ``ipd-yield-under-lock`` — a call inside a ``serialize_stripe``
+  critical section (or a ``*_locked`` method) whose callee *transitively*
+  blocks.  Direct blocking tails are ``lock-yield-while-locked``'s
+  domain and are skipped.
+* ``ipd-view-across-yield`` — a zero-copy view obtained *through a
+  helper return* and read after a yield.  Direct ``read_range``/``peek``
+  bindings are ``alias-view-across-yield``'s domain.  This rule re-runs
+  the exact same lifetime scan with a summary-based view predicate, so
+  the two generations cannot disagree about lifetimes.
+* ``ipd-ghost-materialize`` — a byte-materializing call (``bytes()``,
+  ``np.asarray``, ``.tobytes()``) reachable from a ghost-plane entry
+  point (``on_update`` / OSD ingest handlers) with no plane dispatch
+  (``is_ghost`` / ``GhostExtent`` type test) on the path.  On the ghost
+  plane those sites either fabricate data or raise
+  ``GhostMaterializationError`` mid-scenario.
+* ``ipd-det-taint`` — wall-clock/entropy taint reaching a bench-row
+  producer (``to_dict``) through any call chain.  Direct det calls in
+  the producer itself are the ``det-*`` rules' domain.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.core import FileContext, Finding, ProjectRule, Rule
+from repro.analysis.graph import (
+    BLOCKING,
+    ENTROPY,
+    GHOST_DISPATCH,
+    MAY_BLOCK,
+    RETURNS_VIEW,
+    TAINTED,
+    WALLCLOCK,
+    Project,
+    _classify_ref,
+    _unwrap,
+    module_name,
+)
+from repro.analysis.rules.aliasing import _FunctionScan
+from repro.analysis.vocab import BLOCKING_CALL_TAILS, VIEW_SOURCE_ATTRS
+
+
+def _ref_tail(ref: str) -> str:
+    return ref.rsplit(".", 1)[-1].partition(":")[2] or ref.rsplit(".", 1)[-1]
+
+
+def _path_display(project: Project, keys: List[str]) -> str:
+    return " -> ".join(project.functions[k].qual for k in keys)
+
+
+def _first_site(sites: List[list]) -> list:
+    return min(sites, key=lambda s: (s[1], s[2]))
+
+
+class YieldUnderLockIpdRule(ProjectRule):
+    id = "ipd-yield-under-lock"
+    family = "ipd"
+    description = ("a helper called inside a serialize_stripe critical "
+                   "section transitively blocks — the stripe lock is held "
+                   "across simulated time the per-file rule cannot see")
+    fixit = ("hoist the blocking operation out of the critical section, or "
+             "— if the protocol requires it — suppress the *direct* "
+             "blocking site with `lock-yield-while-locked` and a reason "
+             "(summaries honor those suppressions)")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for key in sorted(project.functions):
+            info = project.functions[key]
+            if info.cls is None:
+                continue
+            if not project.serializes(f"{info.module}:{info.cls}"):
+                continue
+            for ref, line, col, in_lock, nb in info.calls:
+                if not in_lock or nb:
+                    # nb: the site itself carries an audited
+                    # lock-yield-while-locked suppression.
+                    continue
+                tail = _ref_tail(ref)
+                if tail in BLOCKING_CALL_TAILS or tail == "serialize_stripe":
+                    continue  # per-file lock rules' domain
+                blocked = sorted(
+                    k for k in project.resolve_ref(info, ref)
+                    if project.functions[k].facts & MAY_BLOCK
+                )
+                if not blocked:
+                    continue
+                witness = project.witness_path(
+                    blocked[0], BLOCKING, avoid_transparent=True,
+                    block_edges=True)
+                via = _path_display(project, witness) or \
+                    project.functions[blocked[0]].qual
+                term = project.functions[witness[-1]] if witness else None
+                what = (f"`{_first_site(term.block)[0]}`"
+                        if term and term.block else "a blocking call")
+                yield self.finding(
+                    info.path, line, col,
+                    f"`{info.qual}` holds the stripe lock here while the "
+                    f"callee blocks: {via} reaches {what}",
+                )
+
+
+class ViewAcrossYieldIpdRule(ProjectRule):
+    id = "ipd-view-across-yield"
+    family = "ipd"
+    description = ("a zero-copy view returned by a helper is read after a "
+                   "later yield point — same use-after-overwrite as "
+                   "alias-view-across-yield, hidden behind a call")
+    fixit = ("snapshot before parking (`x = x.copy()` / `bytes(x)`), "
+             "consume the view before the yield, or make the helper "
+             "return a copy")
+    # The driver runs this rule per file over the AST (cacheable against
+    # the file hash + its view-dependency summaries), not via check().
+    needs_ast = True
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+    def scan_file(self, ctx: FileContext, project: Project) -> List[Finding]:
+        mod = module_name(ctx.posix_path)
+        shim = Rule()
+        shim.id = self.id
+        shim.fixit = self.fixit
+        findings: List[Finding] = []
+
+        def scan(func: ast.FunctionDef, qual: str) -> None:
+            info = project.functions.get(f"{mod}:{qual}")
+            if info is None:
+                return
+
+            def view_source(node: ast.AST) -> Optional[str]:
+                call = _unwrap(node)
+                if not isinstance(call, ast.Call):
+                    return None
+                tail = (ctx.dotted(call.func) or "").rsplit(".", 1)[-1] or \
+                    getattr(call.func, "attr", "")
+                if tail in VIEW_SOURCE_ATTRS:
+                    return None  # alias-view-across-yield's domain
+                ref = _classify_ref(ctx, call)
+                if ref is None:
+                    return None
+                for k in project.resolve_ref(info, ref):
+                    if project.functions[k].facts & RETURNS_VIEW:
+                        display = ctx.dotted(call.func) or tail
+                        return (f"{display}() [returns a view via "
+                                f"{project.functions[k].qual}]")
+                return None
+
+            findings.extend(
+                _FunctionScan(shim, ctx, func, view_source).run())
+
+        def walk(body, prefix: str) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    scan(stmt, f"{prefix}{stmt.name}")
+                    walk(stmt.body, f"{prefix}{stmt.name}.")
+                elif isinstance(stmt, ast.ClassDef) and not prefix:
+                    walk(stmt.body, f"{stmt.name}.")
+
+        walk(ctx.tree.body, "")
+        return findings
+
+
+class GhostMaterializeIpdRule(ProjectRule):
+    id = "ipd-ghost-materialize"
+    family = "ipd"
+    description = ("a byte-materializing call is reachable from a "
+                   "ghost-plane entry point with no plane dispatch on the "
+                   "path — it fabricates data or raises "
+                   "GhostMaterializationError mid-scenario")
+    fixit = ("dispatch on the plane first (branch on `is_ghost(...)` / the "
+             "payload type) or route through the plane-neutral helpers in "
+             "repro.dataplane (as_payload, concat_payloads)")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        # A plain function building a list, not a generator: `plane-branch`
+        # (correctly) dislikes generators branching on ghost-plane names,
+        # and this body branches on the GHOST_DISPATCH summary bit.
+        out: List[Finding] = []
+        entry_names = set(project.config.ghost_entry_names)
+        entries = sorted(
+            key for key, info in project.functions.items()
+            if info.qual.rsplit(".", 1)[-1] in entry_names
+        )
+        # BFS over call edges; a plane-dispatching function handles both
+        # planes by contract, so reachability stops there (and its own
+        # materialize sites are exempt).
+        parent: dict = {}
+        queue: List[str] = []
+        for key in entries:
+            if key not in parent:
+                parent[key] = None
+                queue.append(key)
+        order: List[str] = []
+        while queue:
+            key = queue.pop(0)
+            info = project.functions[key]
+            if info.facts & GHOST_DISPATCH:
+                continue
+            order.append(key)
+            for callee in info.callees:
+                if callee in parent or callee not in project.functions:
+                    continue
+                parent[callee] = key
+                queue.append(callee)
+        for key in sorted(order):
+            info = project.functions[key]
+            if not info.mat:
+                continue
+            chain: List[str] = []
+            cur: Optional[str] = key
+            while cur is not None:
+                chain.append(cur)
+                cur = parent[cur]
+            via = _path_display(project, list(reversed(chain)))
+            for display, line, col in sorted(
+                    info.mat, key=lambda s: (s[1], s[2])):
+                out.append(self.finding(
+                    info.path, line, col,
+                    f"`{display}` materializes payload bytes on a "
+                    f"ghost-reachable path ({via}) with no plane dispatch",
+                ))
+        return iter(out)
+
+
+class DetTaintIpdRule(ProjectRule):
+    id = "ipd-det-taint"
+    family = "ipd"
+    description = ("wall-clock/entropy taint reaches a bench-row producer "
+                   "through a call chain — rows stop being a pure function "
+                   "of (code, seed)")
+    fixit = ("derive the value from virtual time / the seeded stream, or "
+             "keep machine-local measurement out of row producers; "
+             "legitimate perf-section reads carry det-* suppressions, "
+             "which also clear the taint summary")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for key in sorted(project.functions):
+            info = project.functions[key]
+            fname = info.qual.rsplit(".", 1)[-1]
+            if fname not in project.config.row_producer_names:
+                continue
+            for ref, line, col, *_flags in info.calls:
+                tainted = sorted(
+                    k for k in project.resolve_ref(info, ref)
+                    if project.functions[k].facts & TAINTED
+                )
+                if not tainted:
+                    continue
+                witness = project.witness_path(
+                    tainted[0], WALLCLOCK | ENTROPY)
+                via = _path_display(project, witness) or \
+                    project.functions[tainted[0]].qual
+                term = project.functions[witness[-1]] if witness else None
+                what = (f"`{_first_site(term.det)[0]}`"
+                        if term and term.det else "a nondeterministic call")
+                yield self.finding(
+                    info.path, line, col,
+                    f"bench-row producer `{info.qual}` depends on {via}, "
+                    f"which reaches {what}",
+                )

@@ -32,15 +32,10 @@ import ast
 from typing import Iterator, List, Set, Tuple
 
 from repro.analysis.core import FileContext, Finding, Rule
+from repro.analysis.vocab import BLOCKING_CALL_TAILS as _BLOCKING_CALLS
 
 # Stripe-state mutation primitives that must be lock-wrapped.
 _RMW_CALLS = ("rmw_delta", "write_range")
-
-# Yield points that block simulated time while the stripe lock is held.
-# Device I/O (store/device read-write) is deliberately absent: charging
-# device time inside the critical section is the modelled cost of RMW.
-_BLOCKING_CALLS = ("rpc", "rpc_with_retry", "timeout", "sleep", "event",
-                   "request", "acquire", "AllOf", "AnyOf", "At")
 
 
 def _call_tail(ctx: FileContext, call: ast.Call) -> str:

@@ -73,8 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     li.add_argument("paths", nargs="*", default=["src"],
                     help="files/directories to analyze (default: src)")
-    li.add_argument("--format", choices=["text", "json"], default="text",
-                    help="report format (default: text)")
+    li.add_argument("--format", choices=["text", "json", "github"],
+                    default="text",
+                    help="report format (default: text; github emits "
+                         "::error annotations for Actions)")
     li.add_argument("--strict", action="store_true",
                     help="exit 1 on ANY unsuppressed finding, unused "
                          "suppression, or suppression without a reason "
@@ -86,6 +88,27 @@ def build_parser() -> argparse.ArgumentParser:
     li.add_argument("--show-suppressed", action="store_true",
                     help="include suppressed findings (and their reasons) "
                          "in the text report")
+    li.add_argument("--ipd", dest="ipd", action="store_true", default=True,
+                    help="run the whole-program (ipd/rpc) families "
+                         "(default: on)")
+    li.add_argument("--no-ipd", dest="ipd", action="store_false",
+                    help="per-file rules only (PR 6 behavior: no call "
+                         "graph, no summaries, no cache)")
+    li.add_argument("--cache", default=None, metavar="PATH",
+                    help="summary-cache file (default: .repro-lint-cache "
+                         "next to the first analyzed path)")
+    li.add_argument("--no-cache", action="store_true",
+                    help="cold run: neither read nor write the summary "
+                         "cache")
+    li.add_argument("--graph-dump", nargs="?", const="repro-lint-graph.json",
+                    default=None, metavar="PATH",
+                    help="write the resolved call graph + solved summaries "
+                         "as JSON (default PATH: repro-lint-graph.json)")
+    li.add_argument("--changed", action="store_true",
+                    help="report only findings in git-changed files plus "
+                         "their reverse summary dependents (analysis still "
+                         "covers the whole tree; --strict CI runs "
+                         "unscoped)")
 
     sc = sub.add_parser("scenario", help="one named open-loop workload scenario")
     sc.add_argument("name", help='scenario name, or "list" to enumerate')
@@ -155,6 +178,31 @@ def build_parser() -> argparse.ArgumentParser:
     return ap
 
 
+def _git_changed_files():
+    """Absolute paths of files changed vs HEAD (staged, unstaged, new).
+
+    Returns None when not in a git checkout — ``lint --changed`` is a
+    pre-commit convenience and refuses to guess.
+    """
+    import subprocess
+
+    def run(*argv: str) -> str:
+        return subprocess.run(
+            ["git", *argv], capture_output=True, text=True, check=True,
+        ).stdout
+
+    try:
+        top = run("rev-parse", "--show-toplevel").strip()
+        listed = run("diff", "--name-only", "HEAD") + \
+            run("ls-files", "--others", "--exclude-standard")
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return {
+        os.path.join(top, line.strip())
+        for line in listed.splitlines() if line.strip()
+    }
+
+
 def _leaf_diffs(path: str, a, b, out: list) -> None:
     """Append ``path: old -> new`` lines for every differing JSON *leaf*.
 
@@ -219,43 +267,96 @@ def main(argv=None) -> int:
         # (numpy, harness) into a lint run.
         from repro.analysis import (
             analyze_paths,
+            render_github,
             render_json,
             render_text,
             rules_by_id,
         )
+        from repro.analysis.core import ProjectRule
 
         try:
-            rules = list(rules_by_id(args.rules).values())
+            selected = list(rules_by_id(args.rules).values())
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+        rules = [r for r in selected if not isinstance(r, ProjectRule)]
+        prules = [r for r in selected if isinstance(r, ProjectRule)]
+        if not args.ipd:
+            prules = []
         if args.list_rules:
-            for rule in rules:
+            for rule in rules + prules:
                 print(f"{rule.id:26s} [{rule.family}] {rule.description}")
             return 0
         missing = [p for p in args.paths if not os.path.exists(p)]
         if missing:
             print(f"no such path(s): {missing}", file=sys.stderr)
             return 2
-        findings = analyze_paths(args.paths, rules)
+
+        changed = None
+        if args.changed:
+            changed = _git_changed_files()
+            if changed is None:
+                print("--changed needs a git checkout (git diff failed)",
+                      file=sys.stderr)
+                return 2
+
+        if prules or args.graph_dump:
+            from repro.analysis.cache import DEFAULT_CACHE_NAME
+            from repro.analysis.graph import graph_dump
+            from repro.analysis.project import analyze_project
+
+            cache_path = None
+            if not args.no_cache:
+                cache_path = args.cache
+                if cache_path is None:
+                    root = args.paths[0]
+                    base = root if os.path.isdir(root) \
+                        else os.path.dirname(root) or "."
+                    cache_path = os.path.join(
+                        os.path.dirname(os.path.abspath(base)) or ".",
+                        DEFAULT_CACHE_NAME,
+                    )
+            result = analyze_project(
+                args.paths, rules, prules,
+                cache_path=cache_path, changed=changed,
+            )
+            findings = result.findings
+            if args.graph_dump:
+                import json as _json
+
+                with open(args.graph_dump, "w", encoding="utf-8") as fh:
+                    _json.dump(graph_dump(result.project), fh, indent=2,
+                               sort_keys=True)
+                    fh.write("\n")
+                print(f"wrote {args.graph_dump}", file=sys.stderr)
+        else:
+            findings = analyze_paths(args.paths, rules)
+            if changed is not None:
+                real = {os.path.realpath(c) for c in changed}
+                findings = [f for f in findings
+                            if os.path.realpath(f.path) in real]
         if args.format == "json":
             print(render_json(findings))
+        elif args.format == "github":
+            print(render_github(findings))
         else:
             print(render_text(findings, show_suppressed=args.show_suppressed))
         from repro.analysis.core import (
             SUPPRESSION_MISSING_REASON,
+            SUPPRESSION_SYNTAX,
             UNUSED_SUPPRESSION,
         )
 
         active = [f for f in findings if not f.suppressed]
         if args.strict:
             # Strict is the CI gate: suppression-audit findings (unused
-            # allows, allows without a reason) fail too.
+            # allows, allows without a reason, malformed allows) fail too.
             return 1 if active else 0
         # Non-strict: suppression-audit findings print but do not set the
         # exit code.  A parse error is NOT audit noise — the file was not
         # analyzed at all, so it fails in both modes.
-        audit = (SUPPRESSION_MISSING_REASON, UNUSED_SUPPRESSION)
+        audit = (SUPPRESSION_MISSING_REASON, UNUSED_SUPPRESSION,
+                 SUPPRESSION_SYNTAX)
         return 1 if [f for f in active if f.rule not in audit] else 0
 
     # Imports deferred so `--help` stays instant.

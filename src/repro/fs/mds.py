@@ -52,9 +52,16 @@ class MDS(RpcHost):
         self.heartbeat_timeout = self.HEARTBEAT_TIMEOUT
         self.last_heartbeat: Dict[str, float] = {}
         self.register("create_file", self._h_create)
+        # The next three kinds are client-facing protocol surface with no
+        # in-tree caller yet: scenarios drive them directly (see
+        # tests/test_fs_client_osd.py), and dropping the handlers would
+        # break the wire protocol the bench harness scripts against.
+        # repro-lint: allow(rpc-dead-handler) -- protocol surface exercised from tests/scenarios, no src-tree sender yet
         self.register("stat", self._h_stat)
+        # repro-lint: allow(rpc-dead-handler) -- protocol surface exercised from tests/scenarios, no src-tree sender yet
         self.register("locate", self._h_locate)
         self.register("heartbeat", self._h_heartbeat)
+        # repro-lint: allow(rpc-dead-handler) -- protocol surface exercised from tests/scenarios, no src-tree sender yet
         self.register("classify_write", self._h_classify)
 
     # ------------------------------------------------------------------

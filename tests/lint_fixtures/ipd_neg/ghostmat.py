@@ -1,0 +1,19 @@
+"""ipd negative fixture: the materializing helper dispatches on the
+plane first, so ghost reachability stops there by contract."""
+
+import numpy as np
+
+
+def is_ghost(data):
+    return getattr(data, "nbytes", None) == 0
+
+
+class Ingest:
+    def on_update(self, key, data):
+        return pack(data)
+
+
+def pack(data):
+    if is_ghost(data):
+        return data
+    return np.asarray(data)

@@ -1,0 +1,8 @@
+"""ipd negative fixture: an in-project rpc transport, blocking
+internally — the unique definer the unknown-receiver join resolves."""
+
+
+class Host:
+    def rpc(self, dst, kind, payload):
+        yield from self.link.timeout(1.0)
+        return kind, payload

@@ -1,0 +1,18 @@
+"""ipd negative fixture: every sent kind is registered, every handler
+has a sender (``append`` is sent by ``strategy._apply_locked``)."""
+
+
+class Node:
+    def boot(self):
+        self.register("append", self._h_append)
+        self.register("ping", self._h_ping)
+
+    def ping(self):
+        reply = yield from self.rpc("peer", "ping", {})
+        return reply
+
+    def _h_append(self, msg):
+        return msg
+
+    def _h_ping(self, msg):
+        return msg

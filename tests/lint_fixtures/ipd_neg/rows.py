@@ -1,0 +1,15 @@
+"""ipd negative fixture: the clock read carries an audited det allow —
+compositional suppression clears the taint summary, so the row producer
+calling the helper is not flagged either."""
+
+import time
+
+
+def _stamp():
+    # repro-lint: allow(det-wallclock) -- fixture: host-side perf section, never written into a bench row
+    return time.time()
+
+
+class Row:
+    def to_dict(self):
+        return {"t": _stamp()}

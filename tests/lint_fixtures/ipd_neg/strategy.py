@@ -1,0 +1,20 @@
+"""ipd negative fixture: the lock-held round trip carries an audited
+allow, so neither the per-file rule nor the summary flags its callers —
+the suppressed call edge must not propagate MAY_BLOCK into
+``_apply_locked`` (and from there to ``on_update``'s in-lock site)."""
+
+
+class Strategy:
+    serializes_stripes = True
+
+    def serialize_stripe(self, key, body):
+        yield key
+        yield from body
+
+    def on_update(self, key, data):
+        yield from self.serialize_stripe(key, self._apply_locked(key, data))
+
+    def _apply_locked(self, key, data):
+        # repro-lint: allow(lock-yield-while-locked) -- fixture: audited protocol round trip that must stay under the stripe lock
+        reply = yield from self.host.rpc("peer", "append", {"k": key, "d": data})
+        return reply

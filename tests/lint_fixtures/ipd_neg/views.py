@@ -1,0 +1,20 @@
+"""ipd negative fixture: helper views consumed synchronously before the
+yield, or snapshotted — the summary-based lifetime scan stays silent."""
+
+
+def latest(store, key):
+    return store.read_range(key, 0, 64)
+
+
+class Scanner:
+    def scan(self, store, key):
+        v = latest(store, key)
+        total = int(v.sum())
+        yield 1
+        return total
+
+    def scan_snapshot(self, store, key):
+        v = latest(store, key)
+        v = v.copy()
+        yield 1
+        return int(v.sum())

@@ -1,0 +1,13 @@
+"""ipd positive fixture: byte materialization reachable from a
+ghost-plane entry point with no plane dispatch on the path."""
+
+import numpy as np
+
+
+class Ingest:
+    def on_update(self, key, data):
+        return pack(data)
+
+
+def pack(data):
+    return np.asarray(data)

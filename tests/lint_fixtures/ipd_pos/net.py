@@ -1,0 +1,7 @@
+"""ipd positive fixture: a helper whose blocking is only visible
+transitively — no per-file rule fires anywhere in this module."""
+
+
+def ship_sync(host, key, data):
+    reply = yield from host.rpc("peer", "append", {"k": key, "d": data})
+    return reply

@@ -1,0 +1,22 @@
+"""ipd positive fixture: protocol drift.
+
+``ping`` is sent but never registered (unhandled message); ``pong`` is
+registered but never sent anywhere in the package (dead handler).
+``append`` is registered here and sent by ``net.ship_sync`` — matched.
+"""
+
+
+class Node:
+    def boot(self):
+        self.register("pong", self._h_pong)
+        self.register("append", self._h_append)
+
+    def ping(self):
+        reply = yield from self.rpc("peer", "ping", {})
+        return reply
+
+    def _h_pong(self, msg):
+        return msg
+
+    def _h_append(self, msg):
+        return msg

@@ -1,0 +1,13 @@
+"""ipd positive fixture: wall-clock taint reaching a bench-row producer
+through a helper call — the producer itself contains no clock read."""
+
+import time
+
+
+def _stamp():
+    return time.time()
+
+
+class Row:
+    def to_dict(self):
+        return {"t": _stamp()}

@@ -1,0 +1,23 @@
+"""ipd positive fixture: transitive blocking under the stripe lock.
+
+``on_update`` runs ``_apply_locked`` inside the critical section;
+``_apply_locked`` calls a same-package helper whose body blocks.  The
+per-file lock rule sees no blocking tail at either site — only the
+summary does.
+"""
+
+from ipd_pos import net
+
+
+class Strategy:
+    serializes_stripes = True
+
+    def serialize_stripe(self, key, body):
+        yield key
+        yield from body
+
+    def on_update(self, key, data):
+        yield from self.serialize_stripe(key, self._apply_locked(key, data))
+
+    def _apply_locked(self, key, data):
+        yield from net.ship_sync(self, key, data)

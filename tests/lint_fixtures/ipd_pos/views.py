@@ -1,0 +1,13 @@
+"""ipd positive fixture: a zero-copy view obtained through a helper
+return and read after a yield — invisible to the per-file alias rule."""
+
+
+def latest(store, key):
+    return store.read_range(key, 0, 64)
+
+
+class Scanner:
+    def scan(self, store, key):
+        v = latest(store, key)
+        yield 1
+        return int(v.sum())

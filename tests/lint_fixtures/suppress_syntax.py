@@ -1,0 +1,14 @@
+"""Fixture: malformed and multi-rule suppression comments.
+
+The empty ``allow()`` is a syntax finding (and suppresses nothing, so
+the entropy call under it stays active); the space-separated rule list
+is valid and both named rules are consumed by the combined line.
+"""
+
+import os
+import time
+
+# repro-lint: allow() -- forgot to name the rules
+x = os.urandom(4)
+
+t = os.urandom(int(time.time()))  # repro-lint: allow(det-entropy det-wallclock) -- fixture: space-separated rule list, both rules fire on this line

@@ -1,0 +1,378 @@
+"""Tests for the whole-program lint layer (``repro.analysis.graph`` +
+``ipd-*``/``rpc-*`` rules + the content-hashed summary cache).
+
+Each interprocedural rule is proven against a positive and a negative
+fixture tree (``tests/lint_fixtures/ipd_pos`` / ``ipd_neg``), the
+call-graph machinery (SCC fixpoint, MRO method resolution, the
+unique-definer unknown-receiver join) is unit-tested on in-memory
+models, and the cache is shown to invalidate on both a file edit and a
+*dependency summary* change while keeping cold and warm runs
+byte-identical.
+"""
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis import (
+    all_rules,
+    analyze_file,
+    analyze_project,
+    project_rules,
+    rules_by_id,
+)
+from repro.analysis.core import load_context, parse_suppressions
+from repro.analysis.graph import (
+    MAY_BLOCK,
+    RETURNS_VIEW,
+    TAINTED,
+    build_project,
+    extract_model,
+)
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+IPD_POS = str(FIXTURES / "ipd_pos")
+IPD_NEG = str(FIXTURES / "ipd_neg")
+
+
+def project_lint(paths, cache_path=None, changed=None):
+    if isinstance(paths, str):
+        paths = [paths]
+    return analyze_project(paths, all_rules(), project_rules(),
+                           cache_path=cache_path, changed=changed)
+
+
+def rule_counts(findings, active_only=True):
+    return Counter(
+        f.rule for f in findings if not (active_only and f.suppressed)
+    )
+
+
+def _project_of(sources):
+    """Build a solved in-memory project from {path: source}."""
+    models = {}
+    for path, source in sources.items():
+        ctx, errs = load_context(path, source=source)
+        assert not errs, errs
+        models[path] = extract_model(
+            ctx, parse_suppressions(source.splitlines()))
+    return build_project(models, ctx.config)
+
+
+# ----------------------------------------------------------------------
+# rule families: positive and negative fixture trees
+# ----------------------------------------------------------------------
+def test_ipd_rules_fire_on_positive_tree():
+    res = project_lint(IPD_POS)
+    assert rule_counts(res.findings) == {
+        "ipd-yield-under-lock": 2,     # the in-lock site + the *_locked body
+        "ipd-view-across-yield": 1,
+        "ipd-ghost-materialize": 1,
+        "ipd-det-taint": 1,
+        "det-wallclock": 1,            # the direct read feeding the taint
+        "rpc-unhandled-message": 1,
+        "rpc-dead-handler": 1,
+    }
+
+
+def test_ipd_negative_tree_is_clean():
+    res = project_lint(IPD_NEG)
+    assert rule_counts(res.findings) == {}
+    # The audited allows are honored — and *compositional*: neither the
+    # suppressed rpc edge nor the suppressed clock read re-surfaces as an
+    # ipd finding in any transitive caller.
+    assert rule_counts(res.findings, active_only=False) == {
+        "lock-yield-while-locked": 1, "det-wallclock": 1,
+    }
+
+
+def test_ipd_witness_paths_name_the_chain():
+    res = project_lint(IPD_POS)
+    locked = [f for f in res.findings if f.rule == "ipd-yield-under-lock"]
+    assert any("ship_sync" in f.message for f in locked)
+    taint = [f for f in res.findings if f.rule == "ipd-det-taint"]
+    assert any("_stamp" in f.message and "time.time" in f.message
+               for f in taint)
+
+
+def test_project_rules_registered_and_disjoint():
+    ids = set(rules_by_id(None))
+    pids = {r.id for r in project_rules()}
+    assert pids == {
+        "ipd-yield-under-lock", "ipd-view-across-yield",
+        "ipd-ghost-materialize", "ipd-det-taint",
+        "rpc-unhandled-message", "rpc-dead-handler",
+    }
+    assert pids <= ids
+    assert pids.isdisjoint({r.id for r in all_rules()})
+
+
+# ----------------------------------------------------------------------
+# call-graph units: fixpoint, resolution
+# ----------------------------------------------------------------------
+def test_scc_fixpoint_propagates_through_cycles():
+    project = _project_of({"proj/mod.py": (
+        "def a(n):\n"
+        "    if n:\n"
+        "        return b(n - 1)\n"
+        "    return 0\n"
+        "\n"
+        "def b(n):\n"
+        "    yield from sim.sleep(1)\n"
+        "    return a(n)\n"
+    )})
+    assert project.functions["proj.mod:b"].facts & MAY_BLOCK
+    # a <-> b is one SCC: the blocking fact reaches a through the cycle.
+    assert project.functions["proj.mod:a"].facts & MAY_BLOCK
+
+
+def test_returns_view_propagates_only_via_return_edges():
+    project = _project_of({"proj/mod.py": (
+        "def leaf(store):\n"
+        "    return store.read_range(1, 0, 8)\n"
+        "\n"
+        "def wrap(store):\n"
+        "    return leaf(store)\n"
+        "\n"
+        "def consume(store):\n"
+        "    leaf(store).sum()\n"
+        "    return 0\n"
+    )})
+    assert project.functions["proj.mod:leaf"].facts & RETURNS_VIEW
+    assert project.functions["proj.mod:wrap"].facts & RETURNS_VIEW
+    # Calling a view producer without returning it is not returning a view.
+    assert not project.functions["proj.mod:consume"].facts & RETURNS_VIEW
+
+
+def test_taint_propagates_across_modules():
+    project = _project_of({
+        "proj/clock.py": (
+            "import time\n"
+            "def now():\n"
+            "    return time.time()\n"
+        ),
+        "proj/rows.py": (
+            "from proj import clock\n"
+            "def to_dict():\n"
+            "    return {'t': clock.now()}\n"
+        ),
+    })
+    assert project.functions["proj.rows:to_dict"].facts & TAINTED
+
+
+def test_method_resolution_walks_the_mro():
+    project = _project_of({"proj/mod.py": (
+        "class Base:\n"
+        "    def helper(self):\n"
+        "        return 1\n"
+        "\n"
+        "class Child(Base):\n"
+        "    def go(self):\n"
+        "        return self.helper()\n"
+    )})
+    assert project.resolve_method("proj.mod:Child", "helper") \
+        == "proj.mod:Base.helper"
+    assert project.functions["proj.mod:Child.go"].callees \
+        == ["proj.mod:Base.helper"]
+
+
+def test_unknown_receiver_resolves_only_unique_definers():
+    project = _project_of({"proj/mod.py": (
+        "class A:\n"
+        "    def read(self, k):\n"
+        "        return k\n"
+        "\n"
+        "class B:\n"
+        "    def read(self, k):\n"
+        "        return k\n"
+        "    def fetch(self, k):\n"
+        "        return k\n"
+        "\n"
+        "class C:\n"
+        "    def go(self, obj):\n"
+        "        obj.read(1)\n"
+        "        return obj.fetch(2)\n"
+    )})
+    # `read` has two definers -> ambiguous, dropped; `fetch` is unique.
+    assert project.functions["proj.mod:C.go"].callees == ["proj.mod:B.fetch"]
+
+
+# ----------------------------------------------------------------------
+# the summary cache
+# ----------------------------------------------------------------------
+def _write_view_tree(root, helper_body, consume_early=False):
+    pkg = root / "proj"
+    pkg.mkdir(exist_ok=True)
+    (pkg / "helper.py").write_text(
+        f"def latest(store):\n    return {helper_body}\n")
+    body = ("        total = int(v.sum())\n"
+            "        yield 1\n"
+            "        return total\n") if consume_early else \
+           ("        yield 1\n"
+            "        return int(v.sum())\n")
+    (pkg / "user.py").write_text(
+        "from proj import helper\n"
+        "\n"
+        "\n"
+        "class Scanner:\n"
+        "    def scan(self, store):\n"
+        "        v = helper.latest(store)\n"
+        + body)
+    return pkg
+
+
+def test_cache_warm_run_is_identical(tmp_path):
+    pkg = _write_view_tree(tmp_path, "store.read_range(1, 0, 8)")
+    cache = tmp_path / "cache.json"
+    cold = project_lint(str(pkg), cache_path=str(cache))
+    assert not cold.cache_was_warm
+    assert [f.rule for f in cold.findings] == ["ipd-view-across-yield"]
+    warm = project_lint(str(pkg), cache_path=str(cache))
+    assert warm.cache_was_warm
+    assert [f.to_dict() for f in warm.findings] \
+        == [f.to_dict() for f in cold.findings]
+
+
+def test_cache_invalidates_on_file_edit(tmp_path):
+    pkg = _write_view_tree(tmp_path, "store.read_range(1, 0, 8)")
+    cache = tmp_path / "cache.json"
+    assert [f.rule for f in
+            project_lint(str(pkg), cache_path=str(cache)).findings] \
+        == ["ipd-view-across-yield"]
+    # Edit the *user* file: the view is now consumed before the yield.
+    _write_view_tree(tmp_path, "store.read_range(1, 0, 8)",
+                     consume_early=True)
+    res = project_lint(str(pkg), cache_path=str(cache))
+    assert res.cache_was_warm
+    assert res.findings == []
+
+
+def test_cache_invalidates_on_dependency_summary_change(tmp_path):
+    pkg = _write_view_tree(tmp_path, "store.read_range(1, 0, 8)")
+    cache = tmp_path / "cache.json"
+    assert [f.rule for f in
+            project_lint(str(pkg), cache_path=str(cache)).findings] \
+        == ["ipd-view-across-yield"]
+    # Edit only the *helper* so it stops returning a view: user.py's
+    # content hash is unchanged, but its dependency-summary hash is not —
+    # the cached view scan must not be reused.
+    _write_view_tree(tmp_path, "store.checksum(1)")
+    res = project_lint(str(pkg), cache_path=str(cache))
+    assert res.cache_was_warm
+    assert res.findings == []
+    # ...and back: the finding reappears from a warm cache.
+    _write_view_tree(tmp_path, "store.read_range(1, 0, 8)")
+    res = project_lint(str(pkg), cache_path=str(cache))
+    assert [f.rule for f in res.findings] == ["ipd-view-across-yield"]
+
+
+def test_corrupt_cache_degrades_to_cold(tmp_path):
+    pkg = _write_view_tree(tmp_path, "store.read_range(1, 0, 8)")
+    cache = tmp_path / "cache.json"
+    project_lint(str(pkg), cache_path=str(cache))
+    cache.write_text("{not json")
+    res = project_lint(str(pkg), cache_path=str(cache))
+    assert not res.cache_was_warm
+    assert [f.rule for f in res.findings] == ["ipd-view-across-yield"]
+
+
+def test_analyze_project_is_deterministic():
+    first = project_lint(IPD_POS)
+    second = project_lint(IPD_POS)
+    assert [f.to_dict() for f in first.findings] \
+        == [f.to_dict() for f in second.findings]
+    keys = [f.sort_key() for f in first.findings]
+    assert keys == sorted(keys)
+
+
+# ----------------------------------------------------------------------
+# --changed scoping
+# ----------------------------------------------------------------------
+def test_changed_scope_includes_reverse_dependents():
+    # net.py itself is clean, but strategy.py resolves calls into it —
+    # its findings are in scope; views/rows/proto findings are not.
+    res = project_lint(IPD_POS,
+                       changed={str(Path(IPD_POS) / "net.py")})
+    assert rule_counts(res.findings) == {"ipd-yield-under-lock": 2}
+
+
+def test_changed_scope_empty_when_nothing_changed():
+    res = project_lint(IPD_POS, changed=set())
+    assert res.findings == []
+
+
+# ----------------------------------------------------------------------
+# CLI: cache flags, reporters, graph dump
+# ----------------------------------------------------------------------
+def test_cli_cold_and_warm_runs_byte_identical(tmp_path, capsys):
+    cache = tmp_path / "cache.json"
+    argv = ["lint", "--cache", str(cache), IPD_NEG]
+    code_cold = cli_main(argv)
+    out_cold = capsys.readouterr().out
+    code_warm = cli_main(argv)
+    out_warm = capsys.readouterr().out
+    assert (code_cold, out_cold) == (code_warm, out_warm)
+    assert code_cold == 0
+    # And byte-identical to a never-cached run.
+    assert cli_main(["lint", "--no-cache", IPD_NEG]) == 0
+    assert capsys.readouterr().out == out_cold
+
+
+def test_cli_no_ipd_disables_project_rules(capsys):
+    code = cli_main(["lint", "--no-cache", "--no-ipd", IPD_POS])
+    out = capsys.readouterr().out
+    assert code == 1          # the direct det-wallclock still fires
+    assert "det-wallclock" in out
+    assert "ipd-" not in out and "rpc-" not in out
+
+
+def test_cli_github_format(capsys):
+    code = cli_main(["lint", "--no-cache", "--format", "github", IPD_POS])
+    out = capsys.readouterr().out
+    assert code == 1
+    errors = [ln for ln in out.splitlines() if ln.startswith("::error ")]
+    assert len(errors) == 8
+    assert all("file=" in ln and "line=" in ln and "col=" in ln
+               for ln in errors)
+    assert "title=repro-lint ipd-yield-under-lock" in out
+
+
+def test_cli_graph_dump(tmp_path, capsys):
+    dump = tmp_path / "graph.json"
+    code = cli_main(["lint", "--no-cache", "--graph-dump", str(dump),
+                     IPD_NEG])
+    capsys.readouterr()
+    assert code == 0
+    data = json.loads(dump.read_text())
+    funcs = data["functions"]
+    rpc_key = next(k for k in funcs if k.endswith("host:Host.rpc"))
+    assert "may-block" in funcs[rpc_key]["facts"]
+    locked_key = next(
+        k for k in funcs if k.endswith("strategy:Strategy._apply_locked"))
+    # The audited allow strips the blocking edge from the summary.
+    assert "may-block" not in funcs[locked_key]["facts"]
+
+
+# ----------------------------------------------------------------------
+# suppression syntax (multi-rule lists, malformed allows)
+# ----------------------------------------------------------------------
+def test_suppression_syntax_fixture():
+    findings = analyze_file(str(FIXTURES / "suppress_syntax.py"),
+                            all_rules())
+    assert rule_counts(findings) == {
+        "suppression-syntax": 1,   # allow() names no rules
+        "det-entropy": 1,          # ...so the call under it stays active
+    }
+    suppressed = rule_counts(findings, active_only=False) - \
+        rule_counts(findings)
+    # The space-separated two-rule allow consumed both rules.
+    assert suppressed == {"det-wallclock": 1, "det-entropy": 1}
+
+
+def test_suppression_syntax_has_fixit():
+    findings = analyze_file(str(FIXTURES / "suppress_syntax.py"),
+                            all_rules())
+    syn = [f for f in findings if f.rule == "suppression-syntax"]
+    assert len(syn) == 1 and syn[0].fixit
+    assert "allow(" in syn[0].fixit
