@@ -70,9 +70,20 @@ def is_entropy_call(canonical: str, has_args: bool) -> bool:
 # locks: yield points that block simulated time while a lock is held.
 # Device I/O (store/device read-write) is deliberately absent: charging
 # device time inside the critical section is the modelled cost of RMW.
+# The fence/rebalance entries are the live-change fault plane: fencing on
+# a down or migrating stripe parks the caller for a whole outage/copy
+# window, and a membership rebalance blocks across quiesce + drain +
+# copy — all of them may-block by contract, so calling one while holding
+# a stripe lock is a deadlock-shaped bug the per-file rules must see
+# without the whole-program graph.  (Device ``degrade``/``heal`` and
+# ``Fabric.degrade_link``/``heal_link`` are deliberately absent: they are
+# instantaneous state flips, not yield points.)
 # ----------------------------------------------------------------------
 BLOCKING_CALL_TAILS = ("rpc", "rpc_with_retry", "timeout", "sleep", "event",
-                       "request", "acquire", "AllOf", "AnyOf", "At")
+                       "request", "acquire", "AllOf", "AnyOf", "At",
+                       "_fence_wait", "_migration_wait",
+                       "rebalance_join", "rebalance_leave",
+                       "decommission_osd")
 
 # ----------------------------------------------------------------------
 # aliasing: call attribute names returning zero-copy views of live

@@ -11,11 +11,14 @@ experiment cell:
 * ``table1`` / ``table2`` — workload counters / residency;
 * ``lifespan`` — flash wear comparison;
 * ``scenario`` — one named open-loop workload scenario (including the
-  failure axis: ``degraded_read``, ``rebuild_under_load``,
-  ``double_fault``);
+  failure axis — ``degraded_read``, ``rebuild_under_load``,
+  ``double_fault`` — and the live-change axis — ``fail_slow``,
+  ``congested_fabric``, ``rolling_restart``, ``scale_out_live``,
+  ``scale_in_live``);
 * ``bench`` — the scenario registry plus per-method sweeps of one
-  contention scenario (stripe-lock serialization cost) and one failure
-  scenario (Fig. 8b-style recovery rows), with an optional JSON baseline.
+  contention scenario (stripe-lock serialization cost), one failure
+  scenario (Fig. 8b-style recovery rows) and the live-change scenarios
+  (straggler/migration rows), with an optional JSON baseline.
 """
 
 from __future__ import annotations
@@ -151,6 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--scale-out-scenario", default="scale_out",
                     help="scenario for the per-method ghost-plane cluster "
                          "sweep (default: scale_out; \"none\" skips it)")
+    be.add_argument("--elastic-scenarios", nargs="+", default=None,
+                    metavar="NAME",
+                    help="live-change scenarios for the per-method elastic "
+                         "sweeps (default: all five — fail_slow, "
+                         "congested_fabric, rolling_restart, scale_out_live, "
+                         "scale_in_live; \"none\" skips them)")
     be.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                     help="fan scenario x method rows out over N worker "
                          "processes (each row is an isolated simulator; "
@@ -171,8 +180,9 @@ def build_parser() -> argparse.ArgumentParser:
                     const="BENCH_scenarios.json", default=None,
                     metavar="PATH",
                     help="after the run, diff the simulated-output rows "
-                         "(scenarios/methods/recovery/scale_up/scale_out — "
-                         "the machine-dependent perf section is ignored) "
+                         "(scenarios/methods/recovery/scale_up/scale_out/"
+                         "elastic — the machine-dependent perf section is "
+                         "ignored) "
                          "against an existing baseline, reporting the first "
                          "differing JSON leaf cells; exit 3 on drift")
     return ap
@@ -233,8 +243,8 @@ def _baseline_drift(baseline: dict, payload: dict) -> list:
     """Leaf cells that changed vs an existing baseline (the determinism gate).
 
     Compares the *simulated-output* sections (``scenarios`` / ``methods`` /
-    ``recovery`` / ``scale_up`` / ``scale_out``) for every row present in
-    both the baseline and this run, recursing to the first differing JSON
+    ``recovery`` / ``scale_up`` / ``scale_out`` / ``elastic``) for every
+    row present in both the baseline and this run, recursing to the first differing JSON
     leaf so a drifted run reports exact dotted paths and old/new cell
     values, not wholesale row dumps.  The machine-dependent ``perf``
     section is ignored, and rows only this run has (e.g. a freshly added
@@ -244,7 +254,9 @@ def _baseline_drift(baseline: dict, payload: dict) -> list:
     new.
     """
     drift = []
-    sections = ("scenarios", "methods", "recovery", "scale_up", "scale_out")
+    sections = (
+        "scenarios", "methods", "recovery", "scale_up", "scale_out", "elastic",
+    )
     for section in sections:
         old = baseline.get(section, {})
         new = payload.get(section, {})
@@ -425,6 +437,7 @@ def main(argv=None) -> int:
         import json
 
         from repro.workload import (
+            ELASTIC_SCENARIOS,
             METHODS,
             SCENARIOS,
             InconsistentDrainError,
@@ -451,6 +464,11 @@ def main(argv=None) -> int:
             args.scale_out_scenario not in SCENARIOS
         ):
             unknown.append(args.scale_out_scenario)
+        elastic_names = (
+            list(ELASTIC_SCENARIOS) if args.elastic_scenarios is None
+            else [n for n in args.elastic_scenarios if n != "none"]
+        )
+        unknown.extend(n for n in elastic_names if n not in SCENARIOS)
         if unknown:
             print(f"unknown scenario(s) {unknown}; known: {known}",
                   file=sys.stderr)
@@ -515,6 +533,7 @@ def main(argv=None) -> int:
                 sweep_scenarios.append(args.scale_up_scenario)
             if args.scale_out_scenario != "none":
                 sweep_scenarios.append(args.scale_out_scenario)
+            sweep_scenarios.extend(elastic_names)
         for s in sweep_scenarios:
             rows.extend((s, m) for m in sweep_methods)
         try:
@@ -527,6 +546,7 @@ def main(argv=None) -> int:
         recovery_rows = []
         scale_up_rows = []
         scale_out_rows = []
+        elastic_rows = {}
         if sweep_methods:
             method_rows = [
                 cells[(args.method_scenario, m)] for m in sweep_methods
@@ -543,6 +563,10 @@ def main(argv=None) -> int:
                 scale_out_rows = [
                     cells[(args.scale_out_scenario, m)] for m in sweep_methods
                 ]
+            elastic_rows = {
+                s: [cells[(s, m)] for m in sweep_methods]
+                for s in elastic_names
+            }
 
         if profiler is not None:
             import io
@@ -576,8 +600,13 @@ def main(argv=None) -> int:
                   f"({args.scale_out_scenario}) ---")
             for res in scale_out_rows:
                 print(res.render())
+        for s, rows_ in elastic_rows.items():
+            print(f"--- per-method live-change rows ({s}) ---")
+            for res in rows_:
+                print(res.render())
         payload = results_to_json(results, method_rows, recovery_rows,
-                                  scale_up_rows, scale_out_rows)
+                                  scale_up_rows, scale_out_rows,
+                                  elastic_rows=elastic_rows)
         if args.json:
             import tempfile
 

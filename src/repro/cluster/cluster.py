@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -89,6 +89,7 @@ class Cluster:
 
         self.sim = sim
         self.config = config
+        self._strategy_factory = strategy_factory
         self.rng = RngStreams(config.seed)
         self.fabric = Fabric(sim, config.net_profile)
         self.fabric.fast_plane = config.fast_dataplane
@@ -119,6 +120,20 @@ class Cluster:
         # metrics of failure scenarios.
         self.down_osds: Set[str] = set()
         self.down_windows: List[List] = []
+        # Live placement membership.  ``osds`` is every OSD ever provisioned
+        # (decommissioned nodes stay there as stopped hosts so drains and
+        # counter aggregation remain total); ``ring`` is the ordered subset
+        # placement maps onto.  Membership changes go through commit_ring()
+        # (the rebalance plane), never by mutating ``ring`` in place.
+        self.ring: List[str] = [osd.name for osd in self.osds]
+        self._ring_pos: Dict[str, int] = {n: i for i, n in enumerate(self.ring)}
+        # Elastic-migration fencing: stripes mid-migration (clients hold new
+        # ops until the set clears) and a refcount of in-flight foreground
+        # ops per stripe (the rebalancer quiesces on it before copying).
+        # Both are plain dict/set state touched by non-yielding helpers, so
+        # fault-free runs see identical virtual time.
+        self.migrating_stripes: Set[Tuple[int, int]] = set()
+        self._active_stripe_ops: Dict[Tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
     def _make_device(self, name: str) -> StorageDevice:
@@ -161,11 +176,20 @@ class Cluster:
     # placement
     # ------------------------------------------------------------------
     def placement(self, inode: int, stripe: int) -> List[str]:
-        """OSD names for the k+m blocks of a stripe, in block order."""
-        idx = placement(
-            self.config.n_osds, self.config.k + self.config.m, inode, stripe
-        )
-        return [self.osds[i].name for i in idx]
+        """OSD names for the k+m blocks of a stripe, in block order.
+
+        Maps onto the *current ring* — elastic membership changes move
+        stripes by changing the ring (via :meth:`commit_ring`), and every
+        placement consumer follows automatically.
+        """
+        ring = self.ring
+        idx = placement(len(ring), self.config.k + self.config.m, inode, stripe)
+        return [ring[i] for i in idx]
+
+    def placement_on(self, ring: List[str], inode: int, stripe: int) -> List[str]:
+        """Placement under a hypothetical ring (rebalance planning)."""
+        idx = placement(len(ring), self.config.k + self.config.m, inode, stripe)
+        return [ring[i] for i in idx]
 
     def osd_of_block(self, inode: int, stripe: int, block_index: int) -> str:
         return self.placement(inode, stripe)[block_index]
@@ -176,8 +200,109 @@ class Cluster:
 
     def replica_of(self, osd_name: str) -> str:
         """Ring neighbour hosting this OSD's DataLog replica (Fig. 4)."""
-        i = int(osd_name[3:])
-        return f"osd{(i + 1) % self.config.n_osds}"
+        ring = self.ring
+        return ring[(self._ring_pos[osd_name] + 1) % len(ring)]
+
+    def ring_neighbor(self, osd_name: str, r: int) -> str:
+        """The ``r``-th ring successor of an OSD (replica fan-out targets)."""
+        ring = self.ring
+        return ring[(self._ring_pos[osd_name] + r) % len(ring)]
+
+    def commit_ring(self, new_ring: List[str]) -> None:
+        """Atomically install a new placement membership.
+
+        Only the rebalance plane calls this, after migrated blocks are in
+        place on their new homes; the flip itself is instantaneous (no
+        yields), so no foreground op can observe a half-committed ring.
+        """
+        if len(set(new_ring)) != len(new_ring):
+            raise ValueError("ring members must be unique")
+        if len(new_ring) < self.config.k + self.config.m:
+            raise ValueError(
+                f"ring of {len(new_ring)} cannot hold stripes of width "
+                f"{self.config.k + self.config.m}"
+            )
+        for name in new_ring:
+            if name not in self._hosts:
+                raise ValueError(f"unknown ring member {name!r}")
+        self.ring = list(new_ring)
+        self._ring_pos = {n: i for i, n in enumerate(self.ring)}
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def add_osd(self) -> "OSD":
+        """Provision one fresh OSD (host + device + strategy) outside the ring.
+
+        The node is wired, started (if the cluster is live) and heartbeat-
+        seeded, but carries no placement until a rebalance commits it into
+        the ring — joining is a two-step protocol so the data copy happens
+        while the old placement still serves traffic.  Non-yielding.
+        """
+        from repro.fs.osd import OSD
+
+        name = f"osd{len(self.osds)}"
+        if name in self._hosts:
+            raise ValueError(f"host name {name!r} already taken")
+        device = self._make_device(f"{name}.dev")
+        osd = OSD(
+            self.sim,
+            self.fabric,
+            name,
+            cluster=self,
+            device=device,
+            strategy_factory=self._strategy_factory,
+        )
+        live = any(h.running for h in self.osds)
+        self.osds.append(osd)
+        self._hosts[name] = osd
+        self._connect_all()
+        if live:
+            osd.start()
+            osd.strategy.start_background()
+        # Seed liveness so a running failure detector never flags the
+        # joiner in the gap before its first heartbeat lands.
+        self.mds.last_heartbeat[name] = self.sim.now
+        return osd
+
+    def decommission_osd(self, name: str):
+        """Drain one OSD out of the ring (generator; run in a process).
+
+        Delegates to the rebalance plane: migrate the leaver's blocks to
+        the post-leave placement under the consistency gates, commit the
+        shrunken ring, then stop the node.  Returns the RebalanceResult.
+        """
+        from repro.recovery.rebalance import rebalance_leave
+
+        result = yield from rebalance_leave(self, name)
+        return result
+
+    # ------------------------------------------------------------------
+    # migration fencing (non-yielding: called on the foreground op path)
+    # ------------------------------------------------------------------
+    def note_ops_begin(self, inode: int, stripes) -> None:
+        """Register in-flight foreground ops on each (inode, stripe)."""
+        ops = self._active_stripe_ops
+        for s in stripes:
+            key = (inode, s)
+            ops[key] = ops.get(key, 0) + 1
+
+    def note_ops_end(self, inode: int, stripes) -> None:
+        ops = self._active_stripe_ops
+        for s in stripes:
+            key = (inode, s)
+            n = ops.get(key, 0) - 1
+            if n <= 0:
+                ops.pop(key, None)
+            else:
+                ops[key] = n
+
+    def stripes_quiesced(self, keys) -> bool:
+        """True iff no foreground op is in flight on any given stripe key."""
+        ops = self._active_stripe_ops
+        if not ops:
+            return True
+        return not any(k in ops for k in keys)
 
     # ------------------------------------------------------------------
     # failure bookkeeping

@@ -64,6 +64,26 @@ class StorageDevice:
         # event path releases a channel early.
         self.fast_plane = False
         self._busy = [0.0] * profile.channels
+        # Fail-slow state: a service-time multiplier applied inside
+        # service_time(), so both the event plane and the projected fast
+        # plane honor it without further plumbing.  1.0 == healthy; the
+        # multiply is guarded so healthy runs execute today's exact float
+        # operations (bit-identical baselines).
+        self.slow_factor = 1.0
+
+    # ------------------------------------------------------------------
+    # fail-slow plane
+    # ------------------------------------------------------------------
+    def degrade(self, factor: float) -> None:
+        """Enter (or deepen) fail-slow: every service time is multiplied
+        by ``factor``.  Calling again replaces the previous factor."""
+        if factor <= 0:
+            raise ValueError(f"degrade factor must be > 0, got {factor!r}")
+        self.slow_factor = float(factor)
+
+    def heal(self) -> None:
+        """Leave fail-slow; subsequent I/O runs at profile speed."""
+        self.slow_factor = 1.0
 
     # ------------------------------------------------------------------
     # service-time math (pure, unit-testable)
@@ -81,7 +101,10 @@ class StorageDevice:
             bw = p.seq_write_bw if sequential else p.rand_write_bw
         else:
             raise ValueError(f"unknown op {op!r}")
-        return overhead + nbytes / bw
+        dt = overhead + nbytes / bw
+        if self.slow_factor != 1.0:
+            dt *= self.slow_factor
+        return dt
 
     def classify(self, zone: str, offset: int, nbytes: int) -> bool:
         """True if this access continues the zone's previous one."""

@@ -14,7 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.dataplane import as_payload, concat_payloads
-from repro.fs.messages import HostDownError, RpcHost
+from repro.fs.messages import TRANSIENT_RPC_ERRORS, RpcHost
 from repro.metrics.latency import LatencyRecorder
 from repro.sim.events import AllOf
 
@@ -123,9 +123,36 @@ class Client(RpcHost):
             yield self.sim.timeout(self.FENCE_POLL_S)
             waited += self.FENCE_POLL_S
 
+    def _migration_wait(self, inode: int, stripes):
+        """Hold a *new* op while any touched stripe is mid-migration.
+
+        Mirrors :meth:`_fence_wait` for elastic rebalances: the rebalance
+        plane fences stripes whose placement is changing, and clients hold
+        new foreground ops until the flip commits.  Zero-cost when nothing
+        is migrating (no yield, no event).  Runs once per logical op,
+        *before* the op registers in the cluster's in-flight refcount —
+        registered ops (and their crash retries) must keep draining, or the
+        rebalancer's quiesce would deadlock against this fence.
+        """
+        migrating = self.cluster.migrating_stripes
+        if not migrating:
+            return
+        waited = 0.0
+        while any((inode, s) in migrating for s in stripes):
+            if waited >= self.FENCE_BUDGET_S:
+                raise RuntimeError(
+                    f"{self.name}: stripes {sorted(stripes)} of inode {inode} "
+                    f"migration-fenced for {waited:.1f}s — rebalance never "
+                    "committed"
+                )
+            yield self.sim.timeout(self.FENCE_POLL_S)
+            waited += self.FENCE_POLL_S
+
     def _retry_downed(self, make_attempt, counter: str):
         """Run ``make_attempt()`` (a generator) to completion, retrying
-        :class:`HostDownError` with paced backoff until the budget runs out.
+        transient transport faults (:data:`TRANSIENT_RPC_ERRORS` — a host
+        down, or a lossy link dropping the request) with paced backoff
+        until the budget runs out.
 
         The shared failure-path scaffold of :meth:`update` and
         :meth:`read`: a crash racing an issued op fails it mid-flight; the
@@ -138,7 +165,7 @@ class Client(RpcHost):
             try:
                 result = yield from make_attempt()
                 return result
-            except HostDownError:
+            except TRANSIENT_RPC_ERRORS:
                 if retried >= self.FENCE_BUDGET_S:
                     raise
                 if retried == 0.0:
@@ -171,6 +198,7 @@ class Client(RpcHost):
                 yield float(self.cluster.config.client_overhead_s)
             extents = self.cluster.stripe_map.extents(inode, offset, data.size)
             stripes = {ext.addr.stripe for ext in extents}
+            yield from self._migration_wait(inode, stripes)
             state = {"fenced": False}  # across every retry attempt
 
             def attempt():
@@ -215,7 +243,11 @@ class Client(RpcHost):
                     )
                 yield AllOf(self.sim, acks)
 
-            yield from self._retry_downed(attempt, "update_retries")
+            self.cluster.note_ops_begin(inode, stripes)
+            try:
+                yield from self._retry_downed(attempt, "update_retries")
+            finally:
+                self.cluster.note_ops_end(inode, stripes)
             if state["fenced"]:
                 self.fenced_updates += 1
         finally:
@@ -245,6 +277,12 @@ class Client(RpcHost):
         if self.cluster.config.client_overhead_s > 0:
             yield float(self.cluster.config.client_overhead_s)
         extents = self.cluster.stripe_map.extents(inode, offset, length)
+        stripes = {ext.addr.stripe for ext in extents}
+        # Reads fence on migrating stripes too: a read racing the placement
+        # flip could pull a block from a home that just went stale, and an
+        # unfenced open-loop read stream would keep the rebalancer's
+        # quiesce from ever draining.
+        yield from self._migration_wait(inode, stripes)
 
         def attempt():
             down_now = set(self.cluster.down_osds) | set(down or ())
@@ -283,7 +321,11 @@ class Client(RpcHost):
             return pieces, n_degraded
 
         # Only the attempt that completed counts toward degraded stats.
-        pieces, n_degraded = yield from self._retry_downed(attempt, "read_retries")
+        self.cluster.note_ops_begin(inode, stripes)
+        try:
+            pieces, n_degraded = yield from self._retry_downed(attempt, "read_retries")
+        finally:
+            self.cluster.note_ops_end(inode, stripes)
         out = concat_payloads(pieces)
         latency = self.sim.now - start
         self.read_latency.record(self.sim.now, latency)

@@ -124,11 +124,17 @@ class MDS(RpcHost):
     # failure detection
     # ------------------------------------------------------------------
     def failed_osds(self, now: Optional[float] = None) -> List[str]:
-        """OSDs whose heartbeat is older than the timeout."""
+        """Ring members whose heartbeat is older than the timeout.
+
+        Scoped to the placement ring, not every OSD ever provisioned:
+        a decommissioned node stops beating by design and must not be
+        flagged for recovery, and a joiner is only monitored once a
+        rebalance commits it into the ring.
+        """
         now = self.sim.now if now is None else now
         out = []
-        for osd in self.cluster.osds:
-            seen = self.last_heartbeat.get(osd.name)
+        for name in self.cluster.ring:
+            seen = self.last_heartbeat.get(name)
             if seen is None or now - seen > self.heartbeat_timeout:
-                out.append(osd.name)
+                out.append(name)
         return out

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, Optional, Tuple
 
-from repro.net.fabric import Fabric
+from repro.net.fabric import Fabric, LinkLossError
 from repro.sim.core import Simulator
 from repro.sim.events import AnyOf, Event, Interrupt
 from repro.sim.resources import Store
@@ -48,6 +48,12 @@ class HostDownError(RuntimeError):
     def __init__(self, host: str, detail: str = ""):
         super().__init__(f"host {host!r} is down{': ' + detail if detail else ''}")
         self.host = host
+
+
+# Transport faults a caller may retry: the destination is down but will
+# heal (HostDownError), or a lossy degraded link ate the request before
+# delivery (LinkLossError — the handler never ran, so a retry is safe).
+TRANSIENT_RPC_ERRORS = (HostDownError, LinkLossError)
 
 
 class Message:
@@ -321,7 +327,7 @@ class RpcHost:
         interval: float = 2e-3,
         budget: float = 120.0,
     ):
-        """``rpc`` that retries :class:`HostDownError` until the host heals.
+        """``rpc`` that retries transient transport faults until they heal.
 
         For *background* pushes only (log recycle forwards): the work is
         owned by a detached worker with nobody upstream to retry it, and the
@@ -341,7 +347,7 @@ class RpcHost:
             try:
                 result = yield from self.rpc(dst, kind, payload, nbytes=nbytes)
                 return result
-            except HostDownError:
+            except TRANSIENT_RPC_ERRORS:
                 if self.sim.now >= deadline:
                     raise
                 yield float(interval)

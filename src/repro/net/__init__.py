@@ -6,11 +6,30 @@ full-duplex :class:`~repro.net.nic.NIC` ports and a non-blocking switch
 more backplane than edge bandwidth, so only the NICs queue).
 
 A transfer costs: sender serialisation (tx port held for size/bandwidth),
-wire+stack latency, receiver deserialisation (rx port).  Every transfer is
-counted toward Table 1's NETWORK column.
+wire+stack latency, receiver deserialisation (rx port).  Every *completed*
+transfer is counted toward Table 1's NETWORK column.
+
+Per-endpoint links can be degraded live (:meth:`Fabric.degrade_link`):
+scaled bandwidth, added latency, and deterministic egress loss
+(:class:`~repro.net.fabric.LinkLossError`) for the fault plane.
 """
 
-from repro.net.fabric import Fabric, NetworkProfile, NET_25GBE, NET_40GIB
+from repro.net.fabric import (
+    Fabric,
+    LinkLossError,
+    LinkState,
+    NetworkProfile,
+    NET_25GBE,
+    NET_40GIB,
+)
 from repro.net.nic import NIC
 
-__all__ = ["Fabric", "NIC", "NET_25GBE", "NET_40GIB", "NetworkProfile"]
+__all__ = [
+    "Fabric",
+    "LinkLossError",
+    "LinkState",
+    "NIC",
+    "NET_25GBE",
+    "NET_40GIB",
+    "NetworkProfile",
+]

@@ -12,6 +12,32 @@ from repro.sim.core import At, Simulator
 GBIT = 1e9 / 8
 
 
+class LinkLossError(RuntimeError):
+    """A message was dropped on a lossy degraded link.
+
+    Raised by :meth:`Fabric.transfer` after the serialisation leg, before
+    delivery — the receiver never sees the message.  Callers treat it like
+    a transient transport fault (``rpc_with_retry`` retries; the client
+    data path retries the whole attempt).
+    """
+
+    def __init__(self, endpoint: str, kind: str):
+        super().__init__(f"message {kind or 'raw'!r} dropped on lossy link {endpoint!r}")
+        self.endpoint = endpoint
+        self.kind = kind
+
+
+@dataclass
+class LinkState:
+    """Degradation overrides for one endpoint (see ``Fabric.degrade_link``)."""
+
+    bw_factor: float = 1.0      # effective bandwidth = profile bw * factor
+    extra_latency: float = 0.0  # added to base_latency per message
+    loss_every: int = 0         # drop every Nth *egress* message (0 = none)
+    messages: int = 0           # egress messages considered for loss
+    dropped: int = 0            # egress messages dropped
+
+
 @dataclass(frozen=True)
 class NetworkProfile:
     """Edge bandwidth and per-message base latency of a fabric."""
@@ -39,7 +65,17 @@ class Fabric:
     operation order step for step, so completion instants are bit-identical.
     It must stay off when hosts can crash mid-transfer: the event path
     frees a NIC direction early when its holder is interrupted, which the
-    projected clocks cannot model.
+    projected clocks cannot model.  The same contract applies to link
+    degradation: a degraded or lossy link only exists in fault scenarios,
+    which already run the event plane (the scenario runner forces
+    ``fast_dataplane`` off whenever a fault schedule is present).
+
+    Per-endpoint degradation (``degrade_link``) scales that endpoint's
+    serialisation bandwidth and adds per-message latency; lossy mode drops
+    every Nth message *sent* by the endpoint (egress only, and never
+    ``.reply``/``.err`` frames).  Egress-only loss keeps drops ahead of any
+    handler state change for request traffic, so retrying a dropped
+    message is always safe for the sender that owns the lossy link.
     """
 
     def __init__(self, sim: Simulator, profile: NetworkProfile = NET_25GBE):
@@ -48,6 +84,58 @@ class Fabric:
         self.nics: Dict[str, NIC] = {}
         self.counters = NetCounters()
         self.fast_plane = False
+        # endpoint name -> LinkState; absent == healthy.  Drops survive
+        # heal_link() in dropped_total so scenario metrics can read them
+        # after the schedule heals everything.
+        self._links: Dict[str, LinkState] = {}
+        self.dropped_total = 0
+
+    # ------------------------------------------------------------------
+    # link degradation plane
+    # ------------------------------------------------------------------
+    def degrade_link(
+        self,
+        endpoint: str,
+        bw_factor: float = 1.0,
+        extra_latency: float = 0.0,
+        loss_every: int = 0,
+    ) -> None:
+        """Degrade one endpoint's link; calling again replaces the state."""
+        if endpoint not in self.nics:
+            raise KeyError(f"endpoint {endpoint!r} not attached")
+        if bw_factor <= 0:
+            raise ValueError(f"bw_factor must be > 0, got {bw_factor!r}")
+        if extra_latency < 0:
+            raise ValueError(f"extra_latency must be >= 0, got {extra_latency!r}")
+        if loss_every < 0:
+            raise ValueError(f"loss_every must be >= 0, got {loss_every!r}")
+        self._links[endpoint] = LinkState(
+            bw_factor=float(bw_factor),
+            extra_latency=float(extra_latency),
+            loss_every=int(loss_every),
+        )
+
+    def heal_link(self, endpoint: str) -> None:
+        """Return an endpoint's link to profile speed; idempotent."""
+        self._links.pop(endpoint, None)
+
+    def link_state(self, endpoint: str) -> "LinkState | None":
+        return self._links.get(endpoint)
+
+    def _egress_drop(self, link: LinkState, kind: str) -> bool:
+        """Deterministic counter-based loss for one egress message."""
+        if not link.loss_every:
+            return False
+        if kind.endswith(".reply") or kind.endswith(".err"):
+            # Never drop replies or shipped errors: the handler already
+            # ran, so at-most-once callers could not safely retry.
+            return False
+        link.messages += 1
+        if link.messages % link.loss_every == 0:
+            link.dropped += 1
+            self.dropped_total += 1
+            return True
+        return False
 
     def attach(self, endpoint: str) -> NIC:
         """Register an endpoint; idempotent per name."""
@@ -61,7 +149,10 @@ class Fabric:
         """Move ``nbytes`` from ``src`` to ``dst`` (generator; yields events).
 
         Local transfers (src == dst) cost nothing and are not counted —
-        the paper's network-traffic numbers are inter-node bytes.
+        the paper's network-traffic numbers are inter-node bytes.  Traffic
+        counters are recorded at *completion*: a sender that crashes
+        mid-transfer (or a lossy-link drop) contributes no bytes to the
+        traffic rows.
         """
         if nbytes < 0:
             raise ValueError("negative transfer size")
@@ -73,8 +164,26 @@ class Fabric:
         except KeyError as missing:
             raise KeyError(f"endpoint {missing.args[0]!r} not attached") from None
         wire = nbytes + self.profile.header_bytes
-        self.counters.record(nbytes, kind)
-        src_nic.counters.record(nbytes, kind)
+        # Leg costs: computed up front so link degradation can scale them.
+        # With no degraded links these are the exact float expressions the
+        # legs below used to evaluate inline — completion instants on the
+        # healthy path are bit-identical.
+        tx_time = wire / src_nic.bandwidth
+        rx_time = wire / dst_nic.bandwidth
+        latency = float(self.profile.base_latency)
+        dropped = False
+        if self._links:
+            src_link = self._links.get(src)
+            dst_link = self._links.get(dst)
+            if src_link is not None:
+                if src_link.bw_factor != 1.0:
+                    tx_time /= src_link.bw_factor
+                latency += src_link.extra_latency
+                dropped = self._egress_drop(src_link, kind)
+            if dst_link is not None:
+                if dst_link.bw_factor != 1.0:
+                    rx_time /= dst_link.bw_factor
+                latency += dst_link.extra_latency
         if self.fast_plane:
             # Projected completions, two sleeps instead of three-plus-queue
             # events.  The tx direction is FIFO in *issue* order (only this
@@ -87,16 +196,20 @@ class Fabric:
             start = src_nic.tx_busy
             if start < now:
                 start = now
-            tx_done = start + wire / src_nic.bandwidth
+            tx_done = start + tx_time
             src_nic.tx_busy = tx_done
-            yield At(tx_done + self.profile.base_latency)
+            yield At(tx_done + latency)
+            if dropped:
+                raise LinkLossError(src, kind)
             arrive = self.sim.now
             rx_start = dst_nic.rx_busy
             if rx_start < arrive:
                 rx_start = arrive
-            done = rx_start + wire / dst_nic.bandwidth
+            done = rx_start + rx_time
             dst_nic.rx_busy = done
             yield At(done)
+            self.counters.record(nbytes, kind)
+            src_nic.counters.record(nbytes, kind)
             return
         # Serialisation legs take the uncontended Resource fast path (a
         # free channel costs one float sleep, no sub-generator, no event);
@@ -104,17 +217,23 @@ class Fabric:
         tx = src_nic.tx
         if tx.try_acquire():
             try:
-                yield wire / src_nic.bandwidth
+                yield tx_time
             finally:
                 tx.release()
         else:
-            yield from tx.use(src_nic.wire_time(wire))
-        yield float(self.profile.base_latency)
+            yield from tx.use(tx_time)
+        yield latency
+        if dropped:
+            # The message left the wire but never arrives: the sender paid
+            # serialisation + switch latency, the receiver sees nothing.
+            raise LinkLossError(src, kind)
         rx = dst_nic.rx
         if rx.try_acquire():
             try:
-                yield wire / dst_nic.bandwidth
+                yield rx_time
             finally:
                 rx.release()
         else:
-            yield from rx.use(dst_nic.wire_time(wire))
+            yield from rx.use(rx_time)
+        self.counters.record(nbytes, kind)
+        src_nic.counters.record(nbytes, kind)

@@ -1,5 +1,11 @@
 """Failure injection and data recovery (paper §3.1.2, §4.2, Fig. 8b)."""
 
+from repro.recovery.rebalance import (
+    RebalanceResult,
+    StripeMigrationError,
+    rebalance_join,
+    rebalance_leave,
+)
 from repro.recovery.recovery import (
     RecoveryResult,
     fail_osd,
@@ -11,9 +17,13 @@ from repro.recovery.recovery import (
 from repro.recovery.scrub import ScrubReport, scrub
 
 __all__ = [
+    "RebalanceResult",
     "RecoveryResult",
     "ScrubReport",
+    "StripeMigrationError",
     "fail_osd",
+    "rebalance_join",
+    "rebalance_leave",
     "recover_node",
     "recover_node_proc",
     "restore_osd",

@@ -1,0 +1,235 @@
+"""Elastic-membership stripe rebalance (join/decommission under live load).
+
+Placement is a hash-rotated ring over the *current membership*
+(:meth:`repro.cluster.Cluster.placement`), so changing the member count
+moves nearly every stripe.  A rebalance is therefore a whole-cluster
+migration protocol, not a per-node trickle:
+
+1. **Fence** — every stripe whose placement changes under the new ring is
+   added to ``cluster.migrating_stripes``; clients hold *new* foreground
+   ops on those stripes (:meth:`Client._migration_wait`), exactly as they
+   fence writes on down members.
+2. **Quiesce** — wait until the in-flight-op refcount
+   (``cluster.note_ops_begin/end``) drains to zero on every moving stripe,
+   so no update straddles the placement flip.
+3. **Drain** — recycle all pending log state cluster-wide
+   (:func:`repro.harness.experiment.drain_all`): blocks must hold the
+   post-log truth before they are copied to new homes.
+4. **Gate (pre-copy)** — every moving stripe must be parity-consistent
+   under the *old* placement, else :class:`StripeMigrationError`.
+5. **Copy** — for every block whose home changes, the new home pulls the
+   block from the old home through the costed recovery read path and
+   writes it sequentially (``parallelism`` blocks at a time).  Sparse
+   (never-materialised) blocks are skipped: an all-zero block is all-zero
+   on the new home too.
+6. **Flip** — :meth:`Cluster.commit_ring` installs the new membership in
+   one non-yielding step; stale copies are dropped from old homes and
+   every ring member's strategy gets the ``on_rebuilt()`` placement-change
+   hook.
+7. **Gate (post-flip) + unfence** — every migrated stripe must be
+   parity-consistent under the *new* placement before the fence lifts.
+
+The protocol deliberately trades availability for simplicity: moving
+stripes are write-fenced for the whole copy (measured and reported as the
+foreground dip in elastic scenarios) — matching the paper's evaluation
+focus on update-scheme cost, not on production rebalance throttling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.fs.messages import TRANSIENT_RPC_ERRORS
+from repro.sim.events import AllOf
+
+# Quiesce poll cadence / budget: same scale as the client fence poll —
+# cheap against millisecond-scale scenario horizons, and a hard bound so
+# a wedged foreground op surfaces as an error instead of a silent hang.
+QUIESCE_POLL_S = 5e-4
+QUIESCE_BUDGET_S = 60.0
+
+
+class StripeMigrationError(RuntimeError):
+    """A rebalance found (or would have created) an inconsistent stripe."""
+
+
+@dataclass
+class RebalanceResult:
+    """Outcome of one membership change (scenario metrics read this)."""
+
+    kind: str  # "join" | "decommission"
+    osd: str
+    stripes_total: int = 0      # stripes examined
+    stripes_migrated: int = 0   # stripes whose placement changed
+    blocks_moved: int = 0       # materialised blocks actually copied
+    bytes_moved: int = 0
+    quiesce_seconds: float = 0.0
+    drain_seconds: float = 0.0
+    copy_seconds: float = 0.0
+    t_start: float = 0.0
+    t_end: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def mb_moved(self) -> float:
+        return self.bytes_moved / (1 << 20)
+
+
+def rebalance_join(cluster, osd_name: str):
+    """Commit a provisioned OSD (see ``Cluster.add_osd``) into the ring.
+
+    Generator; returns a :class:`RebalanceResult`.
+    """
+    if osd_name in cluster.ring:
+        raise ValueError(f"{osd_name!r} is already a ring member")
+    new_ring = list(cluster.ring) + [osd_name]
+    result = yield from _rebalance(cluster, "join", osd_name, new_ring)
+    return result
+
+
+def rebalance_leave(cluster, osd_name: str):
+    """Migrate an OSD's placement away, shrink the ring, stop the node.
+
+    Generator; returns a :class:`RebalanceResult`.
+    """
+    if osd_name not in cluster.ring:
+        raise ValueError(f"{osd_name!r} is not a ring member")
+    cfg = cluster.config
+    if len(cluster.ring) - 1 < cfg.k + cfg.m:
+        raise StripeMigrationError(
+            f"cannot decommission {osd_name!r}: the ring would shrink below "
+            f"k+m={cfg.k + cfg.m} members"
+        )
+    if osd_name in cluster.down_osds:
+        raise StripeMigrationError(
+            f"cannot decommission {osd_name!r} while it is down: its blocks "
+            "must be recovered first"
+        )
+    new_ring = [n for n in cluster.ring if n != osd_name]
+    result = yield from _rebalance(cluster, "decommission", osd_name, new_ring)
+    # The leaver is out of placement and fully copied away: take it out of
+    # service in the same instant as the flip (no yields since commit).
+    victim = cluster.osd_by_name(osd_name)
+    victim.strategy.stop_background()
+    victim.stop()
+    return result
+
+
+def _rebalance(cluster, kind: str, osd_name: str, new_ring: List[str]):
+    # Deferred: harness imports cluster/recovery packages at module level.
+    from repro.harness.experiment import drain_all
+
+    sim = cluster.sim
+    cfg = cluster.config
+    span = cfg.k * cfg.block_size
+    result = RebalanceResult(kind=kind, osd=osd_name, t_start=sim.now)
+
+    # ------------------------------------------------------------------
+    # Plan: every (inode, stripe) whose member list changes, with the
+    # per-block (old_home, new_home) pairs that differ.
+    # ------------------------------------------------------------------
+    moved: List[Tuple[int, int, List[str], List[str]]] = []
+    for inode, meta in sorted(cluster.mds.files.items()):
+        for stripe in range(meta.size // span):
+            old_names = cluster.placement(inode, stripe)
+            new_names = cluster.placement_on(new_ring, inode, stripe)
+            result.stripes_total += 1
+            if old_names != new_names:
+                moved.append((inode, stripe, old_names, new_names))
+    result.stripes_migrated = len(moved)
+    moved_keys = [(inode, stripe) for inode, stripe, _, _ in moved]
+
+    # ------------------------------------------------------------------
+    # Fence + quiesce.
+    # ------------------------------------------------------------------
+    cluster.migrating_stripes.update(moved_keys)
+    try:
+        t0 = sim.now
+        deadline = sim.now + QUIESCE_BUDGET_S
+        while not cluster.stripes_quiesced(moved_keys):
+            if sim.now >= deadline:
+                raise StripeMigrationError(
+                    f"{kind} of {osd_name!r}: foreground ops on migrating "
+                    f"stripes did not quiesce within {QUIESCE_BUDGET_S}s"
+                )
+            yield sim.timeout(QUIESCE_POLL_S)
+        result.quiesce_seconds = sim.now - t0
+
+        # --------------------------------------------------------------
+        # Drain all log state, then gate on the old placement.
+        # --------------------------------------------------------------
+        t0 = sim.now
+        yield from drain_all(cluster)
+        result.drain_seconds = sim.now - t0
+        for inode, stripe in moved_keys:
+            if not cluster.stripe_consistent(inode, stripe):
+                raise StripeMigrationError(
+                    f"stripe ({inode},{stripe}) inconsistent before {kind} "
+                    f"migration — refusing to copy corruption"
+                )
+
+        # --------------------------------------------------------------
+        # Copy every relocated, materialised block to its new home.
+        # --------------------------------------------------------------
+        from repro.recovery.recovery import _ensure_recovery_handlers
+
+        _ensure_recovery_handlers(cluster)
+        t0 = sim.now
+        copies: List[Tuple[Tuple[int, int, int], str, str]] = []
+        for inode, stripe, old_names, new_names in moved:
+            for b in range(cfg.k + cfg.m):
+                src, dst = old_names[b], new_names[b]
+                if src == dst:
+                    continue
+                key = (inode, stripe, b)
+                if cluster.osd_by_name(src).store.peek(key) is None:
+                    continue  # sparse: all-zero everywhere by construction
+                copies.append((key, src, dst))
+
+        def move_one(key, src, dst):
+            dst_osd = cluster.osd_by_name(dst)
+            while True:
+                try:
+                    rep = yield from dst_osd.rpc(
+                        src, "recovery_read", {"key": key}, nbytes=24
+                    )
+                    break
+                except TRANSIENT_RPC_ERRORS:
+                    yield sim.timeout(1e-3)
+            yield from dst_osd.store.write_block(key, rep["data"], pattern="seq")
+
+        parallelism = 8
+        pending = list(copies)
+        while pending:
+            batch = pending[:parallelism]
+            del pending[:parallelism]
+            procs = [sim.process(move_one(*item)) for item in batch]
+            yield AllOf(sim, procs)
+        result.blocks_moved = len(copies)
+        result.bytes_moved = len(copies) * cfg.block_size
+        result.copy_seconds = sim.now - t0
+
+        # --------------------------------------------------------------
+        # Flip, clean up stale homes, notify strategies, gate post-flip.
+        # Everything below is non-yielding: no foreground op can observe
+        # a half-committed membership.
+        # --------------------------------------------------------------
+        cluster.commit_ring(new_ring)
+        for key, src, _dst in copies:
+            cluster.osd_by_name(src).store.blocks.pop(key, None)
+        for name in new_ring:
+            cluster.osd_by_name(name).strategy.on_rebuilt()
+        for inode, stripe in moved_keys:
+            if not cluster.stripe_consistent(inode, stripe):
+                raise StripeMigrationError(
+                    f"stripe ({inode},{stripe}) inconsistent after {kind} "
+                    f"migration"
+                )
+    finally:
+        cluster.migrating_stripes.difference_update(moved_keys)
+    result.t_end = sim.now
+    return result

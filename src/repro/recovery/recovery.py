@@ -35,7 +35,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.cluster import Cluster
-from repro.fs.messages import HostDownError
+from repro.fs.messages import TRANSIENT_RPC_ERRORS
 from repro.sim.events import AllOf, AnyOf
 
 
@@ -274,8 +274,9 @@ def recover_node_proc(
                 try:
                     replies = yield AllOf(sim, pulls)
                     break
-                except HostDownError:
-                    # A source died mid-pull; re-plan against the survivors.
+                except TRANSIENT_RPC_ERRORS:
+                    # A source died mid-pull (or a lossy link ate a pull);
+                    # re-plan against the survivors.
                     yield sim.timeout(1e-3)
             shards = {b: rep["data"] for (b, _), rep in zip(sources, replies)}
             rebuilt = cluster.codec.reconstruct(shards, [lost_index])[lost_index]
@@ -428,7 +429,7 @@ def _repair_stripes(cluster: Cluster, failed_osd: str):
                         yield AllOf(sim, writes)
                         repaired += 1
                     break
-                except HostDownError:
+                except TRANSIENT_RPC_ERRORS:
                     # A member crashed mid-repair.  The reviver (running for
                     # the whole recovery) brings its serving plane back, so
                     # retry this stripe; the fresh crash victim gets its own

@@ -67,7 +67,9 @@ def scrub(
     _ensure_recovery_handlers(cluster)
     report = ScrubReport()
     t0 = sim.now
-    scrubber = cluster.osds[0]  # any node can drive a scrub
+    # Any node can drive a scrub — a *ring member*, so an elastic scenario
+    # that decommissioned osd0 still scrubs from a live, serving node.
+    scrubber = cluster.osd_by_name(cluster.ring[0])
     for inode, stripe in targets:
         names = cluster.placement(inode, stripe)
         if any(name in cluster.down_osds for name in names):

@@ -51,21 +51,19 @@ class TSUEStrategy(UpdateStrategy):
         n_replicas = self.engine.config.replicas - 1
         if n_replicas == 1:
             # The common geometry (2 DataLog copies): one replica forward,
-            # run inline — no child process, no AllOf barrier.
-            me = self.osd.index
-            n = self.cluster.config.n_osds
+            # run inline — no child process, no AllOf barrier.  The target
+            # is the live ring successor, so elastic membership changes
+            # retarget replica traffic automatically.
             yield from self.osd.rpc(
-                f"osd{(me + 1) % n}",
+                self.cluster.replica_of(self.osd.name),
                 "tsue_replica",
                 {"key": key, "offset": offset, "data": data},
                 nbytes=int(data.size),
             )
         elif n_replicas > 1:
             calls = []
-            me = self.osd.index
-            n = self.cluster.config.n_osds
             for r in range(1, n_replicas + 1):
-                dst = f"osd{(me + r) % n}"
+                dst = self.cluster.ring_neighbor(self.osd.name, r)
                 calls.append(
                     self.sim.process(
                         self.osd.rpc(

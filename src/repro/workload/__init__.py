@@ -9,14 +9,18 @@ outstanding update per client).  This package opens the workload axis:
   arrival-driven client driver with bounded pipelining (``iodepth``),
   mixed read/update ratios and multi-file tenant sharding;
 * :mod:`~repro.workload.faults` — schedulable fault injection
-  (fail/restore events on the sim clock, with crash and transient modes);
+  (fail/restore, fail-slow devices, degraded/lossy fabric links, rolling
+  restarts and elastic membership changes on the sim clock; the full
+  taxonomy is in ``docs/faults.md``);
 * :mod:`~repro.workload.scenarios` — a registry of named end-to-end
   scenarios (``steady``, ``burst``, ``diurnal``, ``mixed_rw``,
-  ``multi_tenant``, ``hot_stripe``, plus the failure axis
-  ``degraded_read``, ``rebuild_under_load``, ``double_fault``) behind
+  ``multi_tenant``, ``hot_stripe``, the failure axis ``degraded_read``,
+  ``rebuild_under_load``, ``double_fault``, plus the live-change axis
+  :data:`~repro.workload.scenarios.ELASTIC_SCENARIOS`) behind
   ``repro scenario`` / ``repro bench``, with a hard parity-consistency
-  gate on every drain, a forced post-recovery scrub gate on every failure
-  scenario, and stripe-lock wait + recovery metrics in the results.
+  gate on every drain, a forced post-recovery scrub gate on every fault
+  scenario, and stripe-lock wait + recovery + elastic metrics in the
+  results.
 """
 
 from repro.workload.arrival import (
@@ -29,11 +33,14 @@ from repro.workload.arrival import (
 from repro.workload.faults import (
     FaultEvent,
     FaultInjector,
+    client_victim,
     primary_victim,
     secondary_victim,
+    stripe_member,
 )
 from repro.workload.generator import OpenLoopGenerator, WorkloadSpec
 from repro.workload.scenarios import (
+    ELASTIC_SCENARIOS,
     METHODS,
     SCENARIOS,
     InconsistentDrainError,
@@ -53,6 +60,7 @@ __all__ = [
     "ArrivalProcess",
     "ClosedLoop",
     "DiurnalArrivals",
+    "ELASTIC_SCENARIOS",
     "FaultEvent",
     "FaultInjector",
     "InconsistentDrainError",
@@ -65,6 +73,7 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "WorkloadSpec",
+    "client_victim",
     "primary_victim",
     "register_scenario",
     "results_to_json",
@@ -74,4 +83,5 @@ __all__ = [
     "run_scenario",
     "scenario_config",
     "secondary_victim",
+    "stripe_member",
 ]

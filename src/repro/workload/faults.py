@@ -1,29 +1,52 @@
 """Schedulable fault injection for scenario runs.
 
-A :class:`FaultSchedule` is a list of :class:`FaultEvent` — fail/restore
-actions at fixed virtual times, driven off the sim clock by a
-:class:`FaultInjector` process running alongside the open-loop workload.
-Victims are picked lazily (at fire time, against the live cluster) by small
-deterministic picker functions, so schedules are declared once per scenario
-and work at any geometry.
+A :class:`FaultSchedule` is a list of :class:`FaultEvent` — actions at
+fixed virtual times, driven off the sim clock by a :class:`FaultInjector`
+process running alongside the open-loop workload.  Victims are picked
+lazily (at fire time, against the live cluster) by small deterministic
+picker functions, so schedules are declared once per scenario and work at
+any geometry.
 
-Failure modes map onto :func:`repro.recovery.fail_osd`:
+Actions (the full taxonomy is documented in ``docs/faults.md``):
 
-* ``"crash"`` — fail-stop; recovery (``watch_and_recover``) must rebuild
-  and restore the node;
-* ``"stop"`` — transient outage; a paired ``"restore"`` event brings the
-  node back with its store intact.
+* ``"fail"`` — take a node down.  ``mode="crash"`` is fail-stop (recovery
+  must rebuild and restore); ``mode="stop"`` is a transient outage paired
+  with a ``"restore"`` event.  ``mode`` is only valid here.
+* ``"restore"`` — bring a stopped node back with its store intact.
+* ``"slow"`` — fail-slow: the victim's device serves every I/O ``factor``
+  times slower (:meth:`StorageDevice.degrade`); the node stays up.
+* ``"slow_link"`` — degrade the victim's fabric endpoint: bandwidth
+  divided by ``factor``, ``extra_latency`` added per message, and every
+  ``loss_every``-th egress message dropped (forcing caller retries).
+* ``"heal"`` — undo ``slow``/``slow_link`` on the victim.
+* ``"restart"`` — rolling-restart step: stop-mode outage healed by a
+  scheduled restore ``duration`` seconds later (no operator event needed).
+* ``"join"`` — provision a fresh OSD and rebalance it into the placement
+  ring (blocks the injector until the migration commits).  No victim.
+* ``"decommission"`` — migrate a node's placement away, shrink the ring,
+  stop the node.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
-from repro.recovery import fail_osd, restore_osd
+from repro.recovery import fail_osd, rebalance_join, restore_osd
 
-# A victim is a literal OSD name or a picker ``(cluster, inodes) -> name``.
+# A victim is a literal host name or a picker ``(cluster, inodes) -> name``.
 VictimSpec = Union[str, Callable]
+
+ACTIONS = (
+    "fail",
+    "restore",
+    "slow",
+    "slow_link",
+    "heal",
+    "join",
+    "decommission",
+    "restart",
+)
 
 
 def primary_victim(cluster, inodes: Sequence[int]) -> str:
@@ -48,20 +71,75 @@ def secondary_victim(cluster, inodes: Sequence[int]) -> str:
     raise RuntimeError("no eligible secondary victim in stripe 0")
 
 
+def client_victim(cluster, inodes: Sequence[int]) -> str:
+    """The first client endpoint — for link-degradation schedules.
+
+    Egress loss on a *client* link is always retry-safe: a dropped request
+    dies before any OSD handler runs, so the client-side retry can never
+    double-apply a partially-forwarded update (see the Fabric docstring).
+    """
+    return cluster.clients[0].name
+
+
+def stripe_member(index: int) -> Callable:
+    """Picker factory: the ``index``-th member of the first file's stripe 0
+    (rolling-restart schedules walk distinct data-carrying members)."""
+
+    def pick(cluster, inodes: Sequence[int]) -> str:
+        return cluster.placement(inodes[0], 0)[index]
+
+    pick.__name__ = f"stripe_member_{index}"
+    return pick
+
+
 @dataclass(frozen=True)
 class FaultEvent:
-    """One scheduled action on one OSD."""
+    """One scheduled action on (usually) one host."""
 
-    at: float           # virtual seconds from scenario start
-    action: str         # "fail" | "restore"
-    victim: VictimSpec
-    mode: str = "crash"  # failure mode for "fail" events
+    at: float                       # virtual seconds from scenario start
+    action: str                     # one of ACTIONS
+    victim: Optional[VictimSpec] = None
+    mode: Optional[str] = None      # "crash" | "stop"; fail events only
+    factor: float = 1.0             # slow / slow_link severity multiplier
+    extra_latency: float = 0.0      # slow_link: added per-message latency
+    loss_every: int = 0             # slow_link: drop every Nth egress msg
+    duration: float = 0.0           # restart: outage length in seconds
 
     def __post_init__(self):
-        if self.action not in ("fail", "restore"):
+        if self.action not in ACTIONS:
             raise ValueError(f"unknown fault action {self.action!r}")
-        if self.mode not in ("crash", "stop"):
-            raise ValueError(f"unknown failure mode {self.mode!r}")
+        if self.action == "fail":
+            mode = "crash" if self.mode is None else self.mode
+            if mode not in ("crash", "stop"):
+                raise ValueError(f"unknown failure mode {mode!r}")
+            object.__setattr__(self, "mode", mode)
+        elif self.mode is not None:
+            raise ValueError(
+                f"mode={self.mode!r} is only meaningful on 'fail' events, "
+                f"not {self.action!r}"
+            )
+        if self.action == "join":
+            if self.victim is not None:
+                raise ValueError("'join' provisions a fresh OSD; it takes no victim")
+        elif self.victim is None:
+            raise ValueError(f"{self.action!r} requires a victim")
+        if self.factor <= 0:
+            raise ValueError(f"factor must be > 0, got {self.factor!r}")
+        if self.action not in ("slow", "slow_link") and self.factor != 1.0:
+            raise ValueError("factor is only meaningful on slow/slow_link events")
+        if self.extra_latency < 0:
+            raise ValueError(f"extra_latency must be >= 0, got {self.extra_latency!r}")
+        if self.loss_every < 0:
+            raise ValueError(f"loss_every must be >= 0, got {self.loss_every!r}")
+        if self.action != "slow_link" and (self.extra_latency or self.loss_every):
+            raise ValueError(
+                "extra_latency/loss_every are only meaningful on slow_link events"
+            )
+        if self.action == "restart":
+            if self.duration <= 0:
+                raise ValueError("restart requires duration > 0")
+        elif self.duration:
+            raise ValueError("duration is only meaningful on restart events")
 
 
 class FaultInjector:
@@ -71,23 +149,104 @@ class FaultInjector:
         self.cluster = cluster
         self.inodes = list(inodes)
         self.events = sorted(events, key=lambda e: e.at)
-        # (time, action, osd_name) as actually fired — scenario metrics and
-        # tests read this back.
-        self.timeline: List[Tuple[float, str, str]] = []
+        # (time, action, host_name, detail) as actually fired — scenario
+        # metrics and tests read this back.  ``detail`` is the failure mode
+        # for fail events (so tests can assert crash vs stop), the severity
+        # tag for degradations, "" otherwise.
+        self.timeline: List[Tuple[float, str, str, str]] = []
+        # RebalanceResult per join/decommission, in firing order.
+        self.migrations: List = []
+        # [host, t_degraded, t_healed|None] per slow/slow_link window;
+        # metrics close still-open windows at measurement time.
+        self.degraded_windows: List[List] = []
 
     def _resolve(self, spec: VictimSpec) -> str:
         return spec if isinstance(spec, str) else spec(self.cluster, self.inodes)
 
+    # ------------------------------------------------------------------
+    def _open_window(self, name: str) -> None:
+        self.degraded_windows.append([name, self.cluster.sim.now, None])
+
+    def _close_window(self, name: str) -> None:
+        for window in reversed(self.degraded_windows):
+            if window[0] == name and window[2] is None:
+                window[2] = self.cluster.sim.now
+                break
+
+    def _delayed_restore(self, name: str, duration: float):
+        sim = self.cluster.sim
+        yield sim.timeout(duration)
+        restore_osd(self.cluster, name)
+        self.timeline.append((sim.now, "restore", name, "restart"))
+
+    # ------------------------------------------------------------------
     def run(self):
         """The injector process body (pass to ``sim.process``)."""
         sim = self.cluster.sim
         for event in self.events:
             if event.at > sim.now:
                 yield sim.timeout(event.at - sim.now)
-            name = self._resolve(event.victim)
-            if event.action == "fail":
-                fail_osd(self.cluster, name, mode=event.mode)
-            else:
-                restore_osd(self.cluster, name)
-            self.timeline.append((sim.now, event.action, name))
+            yield from self._fire(event)
         return self.timeline
+
+    def _fire(self, event: FaultEvent):
+        cluster = self.cluster
+        sim = cluster.sim
+        action = event.action
+        if action == "join":
+            osd = cluster.add_osd()
+            # Liveness before membership: the joiner beats (at the fleet's
+            # cadence, if heartbeats are running) before any rebalance can
+            # commit it into the monitored ring.
+            interval = next(
+                (o._heartbeat_interval for o in cluster.osds if o._heartbeat_interval),
+                None,
+            )
+            if interval is not None:
+                osd.start_heartbeat(interval)
+            self.timeline.append((sim.now, "join", osd.name, ""))
+            result = yield from rebalance_join(cluster, osd.name)
+            self.migrations.append(result)
+            return
+        name = self._resolve(event.victim)
+        if action == "fail":
+            fail_osd(cluster, name, mode=event.mode)
+            self.timeline.append((sim.now, "fail", name, event.mode))
+        elif action == "restore":
+            restore_osd(cluster, name)
+            self.timeline.append((sim.now, "restore", name, ""))
+        elif action == "slow":
+            cluster.osd_by_name(name).device.degrade(event.factor)
+            self._open_window(name)
+            self.timeline.append((sim.now, "slow", name, f"x{event.factor:g}"))
+        elif action == "slow_link":
+            cluster.fabric.degrade_link(
+                name,
+                bw_factor=1.0 / event.factor,
+                extra_latency=event.extra_latency,
+                loss_every=event.loss_every,
+            )
+            self._open_window(name)
+            self.timeline.append((sim.now, "slow_link", name, f"x{event.factor:g}"))
+        elif action == "heal":
+            host = cluster.osd_by_name(name)
+            device = getattr(host, "device", None)
+            if device is not None:
+                device.heal()
+            cluster.fabric.heal_link(name)
+            self._close_window(name)
+            self.timeline.append((sim.now, "heal", name, ""))
+        elif action == "restart":
+            fail_osd(cluster, name, mode="stop")
+            self.timeline.append((sim.now, "restart", name, "stop"))
+            sim.process(
+                self._delayed_restore(name, event.duration),
+                name=f"restart-restore:{name}",
+            )
+        elif action == "decommission":
+            self.timeline.append((sim.now, "decommission", name, ""))
+            result = yield from cluster.decommission_osd(name)
+            self.migrations.append(result)
+        else:  # pragma: no cover - ACTIONS is validated in FaultEvent
+            raise AssertionError(f"unhandled action {action!r}")
+        return

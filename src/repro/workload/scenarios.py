@@ -39,6 +39,18 @@ come back clean, or :func:`run_scenario` raises
 :class:`PostRecoveryScrubError`.  Their results carry a ``recovery``
 section: drain/rebuild seconds, effective recovery MB/s, degraded-read
 p99, and the foreground-throughput dip while nodes were down.
+
+**Live-change scenarios** (:data:`ELASTIC_SCENARIOS`) exercise the rest of
+the fault plane: fail-slow devices (``fail_slow``), degraded/lossy fabric
+links (``congested_fabric``), rolling restarts (``rolling_restart``), and
+elastic membership — a live join (``scale_out_live``) and a live
+decommission (``scale_in_live``) that migrate stripe placement through
+:mod:`repro.recovery.rebalance` while foreground updates continue.  They
+run under every standing gate the failure scenarios do (consistent drain,
+heal-before-drain, forced post-recovery scrub) and report an extra
+``elastic`` section: straggler-amplification p99 (degraded windows vs
+healthy time), migration volume and time-to-rebalance, link drops, and the
+foreground dip across every change window.
 """
 
 from __future__ import annotations
@@ -61,8 +73,10 @@ from repro.workload.arrival import (
 from repro.workload.faults import (
     FaultEvent,
     FaultInjector,
+    client_victim,
     primary_victim,
     secondary_victim,
+    stripe_member,
 )
 from repro.workload.generator import OpenLoopGenerator, WorkloadSpec
 
@@ -295,6 +309,94 @@ register_scenario(Scenario(
 ))
 
 
+# Live-change scenarios: fail-slow, fabric degradation, rolling restarts
+# and elastic membership.  Same timing discipline as the failure scenarios
+# (inject by ~4ms, heal by ~16ms) so every schedule lands inside the
+# 2-client smoke runs; none needs the MDS watcher — slow/slow_link heal by
+# schedule, restarts restore themselves, and membership changes migrate
+# data rather than losing it.
+register_scenario(Scenario(
+    name="fail_slow",
+    description="one OSD's device serves 6x slower mid-run, then heals: "
+                "straggler amplification with no failure event at all",
+    make_arrivals=lambda: PoissonArrivals(rate=4000.0),
+    iodepth=8,
+    read_fraction=0.2,
+    faults=(
+        FaultEvent(at=0.003, action="slow", victim=primary_victim, factor=6.0),
+        FaultEvent(at=0.012, action="heal", victim=primary_victim),
+    ),
+))
+register_scenario(Scenario(
+    name="congested_fabric",
+    description="congested fabric: the primary's link loses 7/8 of its "
+                "bandwidth and gains 200us/message; the client link drops "
+                "every 7th egress message (forcing RPC retries)",
+    make_arrivals=lambda: PoissonArrivals(rate=4000.0),
+    iodepth=8,
+    read_fraction=0.2,
+    faults=(
+        FaultEvent(at=0.003, action="slow_link", victim=primary_victim,
+                   factor=8.0, extra_latency=200e-6),
+        FaultEvent(at=0.003, action="slow_link", victim=client_victim,
+                   factor=2.0, loss_every=7),
+        FaultEvent(at=0.012, action="heal", victim=primary_victim),
+        FaultEvent(at=0.012, action="heal", victim=client_victim),
+    ),
+))
+register_scenario(Scenario(
+    name="rolling_restart",
+    description="three stripe members restart in sequence (3ms stop-mode "
+                "outages, stores intact): the maintenance-window regime",
+    make_arrivals=lambda: PoissonArrivals(rate=4000.0),
+    iodepth=8,
+    read_fraction=0.2,
+    faults=(
+        FaultEvent(at=0.002, action="restart", victim=stripe_member(0),
+                   duration=0.003),
+        FaultEvent(at=0.007, action="restart", victim=stripe_member(1),
+                   duration=0.003),
+        FaultEvent(at=0.012, action="restart", victim=stripe_member(2),
+                   duration=0.003),
+    ),
+))
+register_scenario(Scenario(
+    name="scale_out_live",
+    description="a fresh OSD joins mid-run: live stripe rebalance onto the "
+                "9-node ring under foreground updates",
+    make_arrivals=lambda: PoissonArrivals(rate=4000.0),
+    iodepth=8,
+    read_fraction=0.2,
+    faults=(
+        FaultEvent(at=0.004, action="join"),
+    ),
+))
+register_scenario(Scenario(
+    name="scale_in_live",
+    description="the primary is decommissioned mid-run: its placement "
+                "migrates away, the ring shrinks to 7 (>= k+m), the node "
+                "stops",
+    make_arrivals=lambda: PoissonArrivals(rate=4000.0),
+    iodepth=8,
+    read_fraction=0.2,
+    faults=(
+        FaultEvent(at=0.004, action="decommission", victim=primary_victim),
+    ),
+))
+
+# The live-change sweep set (``repro bench`` runs each over every method)
+# and the actions whose presence makes a scenario report an ``elastic``
+# metrics section.
+ELASTIC_SCENARIOS = (
+    "fail_slow",
+    "congested_fabric",
+    "rolling_restart",
+    "scale_out_live",
+    "scale_in_live",
+)
+ELASTIC_ACTIONS = ("slow", "slow_link", "heal", "join", "decommission", "restart")
+
+
 @dataclass
 class ScenarioResult:
     """Everything one scenario run reports."""
@@ -323,6 +425,13 @@ class ScenarioResult:
     # p99, foreground-throughput dip during downtime, retry/fence counts
     # and the post-recovery scrub size.  Flat floats/ints, JSON-ready.
     recovery: Optional[Dict[str, float]] = None
+    # Live-change scenarios only (None otherwise): the elastic section —
+    # change-event counts, straggler-amplification p99 (degraded windows vs
+    # healthy time), migration volume / time-to-rebalance, link drops and
+    # the foreground dip across every change window.  Flat floats,
+    # JSON-ready; serialized only when present so every pre-existing
+    # baseline row stays bit-identical.
+    elastic: Optional[Dict[str, float]] = None
     # Wall-clock measurement of this run (wall seconds, kernel events,
     # events/sec, peak RSS).  Machine-dependent by nature, so it is NOT
     # part of to_dict() — the simulated-output rows must stay bit-exact
@@ -365,6 +474,8 @@ class ScenarioResult:
         }
         if self.recovery is not None:
             out["recovery"] = dict(self.recovery)
+        if self.elastic is not None:
+            out["elastic"] = dict(self.elastic)
         if self.ghost_dataplane:
             out["ghost_dataplane"] = True
         return out
@@ -404,6 +515,26 @@ class ScenarioResult:
                 f"  fg dip     : {r['foreground_dip']:.2f}x in-window "
                 f"update rate | post-scrub clean over "
                 f"{r['scrub_stripes']:.0f} stripes"
+            )
+        if self.elastic is not None:
+            e = self.elastic
+            text += (
+                f"\n  elastic    : {e['joins']:.0f} join / "
+                f"{e['decommissions']:.0f} decomm / "
+                f"{e['restarts']:.0f} restart / "
+                f"{e['slow_events']:.0f} slow / "
+                f"{e['slow_link_events']:.0f} slow-link\n"
+                f"  migration  : {e['stripes_migrated']:.0f} stripes, "
+                f"{e['migration_mb']:.1f} MB in "
+                f"{e['time_to_rebalance_s'] * 1e3:,.2f} ms "
+                f"(quiesce {e['rebalance_quiesce_s'] * 1e3:,.2f} ms, "
+                f"copy {e['rebalance_copy_s'] * 1e3:,.2f} ms)\n"
+                f"  straggler  : update p99 {e['straggler_p99_us']:,.1f} us "
+                f"degraded vs {e['healthy_p99_us']:,.1f} us healthy "
+                f"({e['straggler_amplification']:.2f}x) | "
+                f"{e['link_drops']:.0f} link drops\n"
+                f"  change dip : {e['change_dip']:.2f}x in-window update rate "
+                f"over {e['change_window_s'] * 1e3:,.1f} ms of change windows"
             )
         return text
 
@@ -621,6 +752,10 @@ def run_scenario(
             cluster, injector, recoveries, scrub_report, horizon
         )
 
+    elastic_section = None
+    if injector and any(e.action in ELASTIC_ACTIONS for e in scenario.faults):
+        elastic_section = _elastic_metrics(cluster, injector, horizon)
+
     # The hard gate: with per-stripe serialization no method may drain
     # inconsistent — a bad stripe is a strategy bug, not a workload effect.
     bad = [
@@ -701,6 +836,7 @@ def run_scenario(
         lock_wait_mean=wait_mean,
         lock_wait_p99=wait_p99,
         recovery=recovery_section,
+        elastic=elastic_section,
         perf=perf_section,
         ghost_dataplane=cfg.ghost_dataplane,
     )
@@ -747,7 +883,12 @@ def _recovery_metrics(cluster, injector, recoveries, scrub_report, horizon) -> d
     rebuild_s = sum(r.rebuild_seconds for r in recoveries)
     recovered = sum(r.bytes_recovered for r in recoveries)
     return {
-        "failures": float(sum(1 for _t, a, _n in injector.timeline if a == "fail")),
+        # ``restart`` is a scheduled stop-mode outage: it counts as a
+        # failure here (downtime/dip integrate over its window) even though
+        # it heals itself without the watcher.
+        "failures": float(
+            sum(1 for _t, a, _n, _d in injector.timeline if a in ("fail", "restart"))
+        ),
         "recoveries": float(len(recoveries)),
         "downtime_s": downtime,
         "drain_s": drain_s,
@@ -768,6 +909,99 @@ def _recovery_metrics(cluster, injector, recoveries, scrub_report, horizon) -> d
         "foreground_dip": dip,
         "scrub_stripes": float(scrub_report.stripes_checked),
         "scrub_clean": True,  # gate: run_scenario raised otherwise
+    }
+
+
+def _elastic_metrics(cluster, injector, horizon) -> dict:
+    """The ``elastic`` section of a live-change scenario's result.
+
+    Change windows come from three sources: degradation windows opened by
+    ``slow``/``slow_link`` events (closed by ``heal``, or at measurement
+    time if the schedule never heals), outage windows from ``restart``
+    steps (``cluster.down_windows``), and migration windows spanning each
+    join/decommission rebalance.  Straggler amplification compares the
+    update-latency p99 of ops overlapping a degraded window against the
+    p99 of every other update; the change dip is the recovery-style
+    foreground-rate ratio integrated over *all* change windows.
+    """
+    sim_now = cluster.sim.now
+    counts: Dict[str, int] = {}
+    for _t, action, _name, _detail in injector.timeline:
+        counts[action] = counts.get(action, 0) + 1
+
+    degraded = merge_windows(
+        [(t0, t1 if t1 is not None else sim_now)
+         for _name, t0, t1 in injector.degraded_windows]
+    )
+    degraded_s = sum(b - a for a, b in degraded)
+
+    # Straggler amplification: updates overlapping a degraded window vs
+    # every other update.  Overlap by [start, completion] span, same rule
+    # as window_samples.
+    slow_rec = LatencyRecorder("degraded-updates")
+    fast_rec = LatencyRecorder("healthy-updates")
+    for c in cluster.clients:
+        for t, lat in zip(
+            c.update_latency.completion_times, c.update_latency.latencies
+        ):
+            start = t - lat
+            if any(start < b and t > a for a, b in degraded):
+                slow_rec.latencies.append(lat)
+            else:
+                fast_rec.latencies.append(lat)
+    slow_p99 = slow_rec.percentile(99.0)
+    fast_p99 = fast_rec.percentile(99.0)
+
+    migrations = list(injector.migrations)
+    blocks_moved = sum(r.blocks_moved for r in migrations)
+    bytes_moved = sum(r.bytes_moved for r in migrations)
+
+    # Foreground dip across every change window (degraded + migration),
+    # clipped to the workload horizon — the recovery-dip computation over a
+    # wider window set.
+    outage = [
+        (t0, t1) for _name, t0, t1 in cluster.down_windows if t1 is not None
+    ]
+    change = merge_windows(
+        degraded + outage + [(r.t_start, r.t_end) for r in migrations]
+    )
+    clipped = merge_windows([(a, min(b, horizon)) for a, b in change if a < horizon])
+    in_window_s = sum(b - a for a, b in clipped)
+    in_count = out_count = 0
+    for c in cluster.clients:
+        for t in c.update_latency.completion_times:
+            if t <= horizon and any(a <= t <= b for a, b in clipped):
+                in_count += 1
+            elif t <= horizon:
+                out_count += 1
+    out_s = max(horizon - in_window_s, 0.0)
+    in_rate = in_count / in_window_s if in_window_s > 0 else 0.0
+    out_rate = out_count / out_s if out_s > 0 else 0.0
+    dip = in_rate / out_rate if out_rate > 0 else 0.0
+
+    return {
+        "slow_events": float(counts.get("slow", 0)),
+        "slow_link_events": float(counts.get("slow_link", 0)),
+        "heals": float(counts.get("heal", 0)),
+        "restarts": float(counts.get("restart", 0)),
+        "joins": float(counts.get("join", 0)),
+        "decommissions": float(counts.get("decommission", 0)),
+        "degraded_s": degraded_s,
+        "straggler_p99_us": slow_p99 * 1e6,
+        "healthy_p99_us": fast_p99 * 1e6,
+        "straggler_amplification": slow_p99 / fast_p99 if fast_p99 > 0 else 0.0,
+        "link_drops": float(cluster.fabric.dropped_total),
+        "migrations": float(len(migrations)),
+        "stripes_migrated": float(sum(r.stripes_migrated for r in migrations)),
+        "blocks_moved": float(blocks_moved),
+        "migration_mb": bytes_moved / (1 << 20),
+        "time_to_rebalance_s": sum(r.total_seconds for r in migrations),
+        "rebalance_quiesce_s": sum(r.quiesce_seconds for r in migrations),
+        "rebalance_drain_s": sum(r.drain_seconds for r in migrations),
+        "rebalance_copy_s": sum(r.copy_seconds for r in migrations),
+        "change_window_s": sum(b - a for a, b in change),
+        "change_dip": dip,
+        "ring_size": float(len(cluster.ring)),
     }
 
 
@@ -875,6 +1109,7 @@ def results_to_json(
     recovery_rows: Sequence[ScenarioResult] = (),
     scale_up_rows: Sequence[ScenarioResult] = (),
     scale_out_rows: Sequence[ScenarioResult] = (),
+    elastic_rows: Optional[Dict[str, Sequence[ScenarioResult]]] = None,
 ) -> dict:
     """The ``BENCH_scenarios.json`` baseline payload.
 
@@ -883,10 +1118,12 @@ def results_to_json(
     method) lands under ``"recovery"``; ``scale_up_rows`` is the
     per-method sweep of the 10x ``scale_up`` tier; ``scale_out_rows`` is
     the per-method sweep of the ghost-plane ``scale_out`` tier (1024
-    clients x 256 OSDs).  The ``perf`` section is wall-clock measurement
-    (seconds, kernel events/sec, peak RSS) — machine-dependent, kept OUT
-    of the simulated-output rows so those stay bit-exact across hosts;
-    determinism gates must ignore it.
+    clients x 256 OSDs); ``elastic_rows`` maps live-change scenario name
+    -> per-method sweep, landing under ``"elastic"`` as
+    ``{scenario: {method: row}}``.  The ``perf`` section is wall-clock
+    measurement (seconds, kernel events/sec, peak RSS) —
+    machine-dependent, kept OUT of the simulated-output rows so those stay
+    bit-exact across hosts; determinism gates must ignore it.
     """
     payload = {
         "bench": "scenarios",
@@ -908,6 +1145,11 @@ def results_to_json(
         payload["scale_out"] = {
             r.method: r.to_dict() for r in scale_out_rows
         }
+    if elastic_rows:
+        payload["elastic"] = {
+            scenario: {r.method: r.to_dict() for r in rows}
+            for scenario, rows in elastic_rows.items()
+        }
     perf = {r.name: dict(r.perf) for r in results if r.perf}
     if scale_up_rows:
         perf.update(
@@ -917,6 +1159,11 @@ def results_to_json(
         perf.update(
             {f"scale_out/{r.method}": dict(r.perf) for r in scale_out_rows if r.perf}
         )
+    if elastic_rows:
+        for scenario, rows in elastic_rows.items():
+            perf.update(
+                {f"{scenario}/{r.method}": dict(r.perf) for r in rows if r.perf}
+            )
     if perf:
         payload["perf"] = perf
     return payload

@@ -20,6 +20,13 @@ class GoodStrategy:
         # modelled cost of RMW), no blocking yield points.
         yield from self.rmw_delta(key, offset, data)
 
+    def _throttle_locked(self, key, offset, data):
+        # Fail-slow degradation/heal are instantaneous state flips, not
+        # yield points — legal inside the critical section.
+        self.osd.device.degrade(2.0)
+        yield from self.rmw_delta(key, offset, data)
+        self.osd.device.heal()
+
     def drain(self, phase=0):
         # Drain runs behind the harness post-workload barrier: exempt.
         yield from self.rmw_delta(0, 0, None)

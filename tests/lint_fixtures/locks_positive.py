@@ -24,3 +24,8 @@ class BadStrategy:
         yield from self.serialize_stripe(
             key, self.sim.sleep(1.0)  # lock-yield-while-locked
         )
+
+    def _flip_locked(self, key):
+        # Fencing on a migrating stripe parks the op for the whole copy
+        # window — never while holding the stripe lock.
+        yield from self.client._migration_wait(0, [0])  # lock-yield-while-locked

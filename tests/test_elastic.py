@@ -1,0 +1,542 @@
+"""The live-change fault plane: fail-slow devices, degraded/lossy links,
+rolling restarts and elastic membership (join/decommission rebalance)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.devices import SSD
+from repro.net import NET_25GBE, Fabric, LinkLossError
+from repro.recovery import (
+    StripeMigrationError,
+    fail_osd,
+    rebalance_join,
+    rebalance_leave,
+)
+from repro.sim import Simulator
+from repro.update import make_strategy_factory
+from repro.workload import (
+    ELASTIC_SCENARIOS,
+    METHODS,
+    SCENARIOS,
+    FaultEvent,
+    FaultInjector,
+    primary_victim,
+    run_scenario,
+    secondary_victim,
+)
+
+K, M, BLOCK = 4, 2, 2048
+SMOKE = dict(n_clients=2, requests_per_client=40)
+
+
+def build(method="fo", n_osds=8, seed=13, **params):
+    sim = Simulator()
+    if method == "tsue" and not params:
+        params = dict(unit_bytes=8 * 1024, flush_age=0.01, flush_interval=0.005)
+    cluster = Cluster(
+        sim,
+        ClusterConfig(n_osds=n_osds, k=K, m=M, block_size=BLOCK, seed=seed,
+                      client_overhead_s=0.0),
+        make_strategy_factory(method, **params),
+    )
+    return sim, cluster
+
+
+def run_to(sim, proc, horizon=120.0):
+    while not proc.fired and sim.peek() != float("inf") and sim.now < horizon:
+        sim.step()
+    assert proc.fired
+    return proc.value
+
+
+def load(cluster, inode=600, stripes=2, seed=1):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, stripes * K * BLOCK, dtype=np.uint8)
+    cluster.instant_load_file(inode, data)
+    return data
+
+
+# ----------------------------------------------------------------------
+# FaultEvent validation (satellite: mode is fail-only; field scoping)
+# ----------------------------------------------------------------------
+def test_fault_event_mode_only_valid_on_fail():
+    with pytest.raises(ValueError, match="only meaningful on 'fail'"):
+        FaultEvent(at=0.0, action="slow", victim="osd0", mode="crash", factor=2.0)
+    with pytest.raises(ValueError, match="only meaningful on 'fail'"):
+        FaultEvent(at=0.0, action="restore", victim="osd0", mode="stop")
+    # fail without a mode normalizes to crash; bad modes are rejected.
+    assert FaultEvent(at=0.0, action="fail", victim="osd0").mode == "crash"
+    with pytest.raises(ValueError, match="unknown failure mode"):
+        FaultEvent(at=0.0, action="fail", victim="osd0", mode="maim")
+
+
+def test_fault_event_field_scoping():
+    with pytest.raises(ValueError, match="unknown fault action"):
+        FaultEvent(at=0.0, action="warp", victim="osd0")
+    with pytest.raises(ValueError, match="takes no victim"):
+        FaultEvent(at=0.0, action="join", victim="osd0")
+    with pytest.raises(ValueError, match="requires a victim"):
+        FaultEvent(at=0.0, action="slow", factor=2.0)
+    with pytest.raises(ValueError, match="factor must be > 0"):
+        FaultEvent(at=0.0, action="slow", victim="osd0", factor=0.0)
+    with pytest.raises(ValueError, match="only meaningful on slow"):
+        FaultEvent(at=0.0, action="fail", victim="osd0", factor=2.0)
+    with pytest.raises(ValueError, match="slow_link"):
+        FaultEvent(at=0.0, action="slow", victim="osd0", factor=2.0, loss_every=3)
+    with pytest.raises(ValueError, match="duration > 0"):
+        FaultEvent(at=0.0, action="restart", victim="osd0")
+    with pytest.raises(ValueError, match="restart events"):
+        FaultEvent(at=0.0, action="fail", victim="osd0", duration=1.0)
+
+
+def test_injector_timeline_records_failure_mode():
+    """Satellite: the timeline carries the fail mode so tests and metrics
+    can tell crash from stop without re-reading the schedule."""
+    sim, cluster = build("fo")
+    load(cluster)
+    cluster.start()
+    victim = cluster.placement(600, 0)[0]
+    inj = FaultInjector(cluster, [600], [
+        FaultEvent(at=0.001, action="fail", victim=primary_victim, mode="stop"),
+        FaultEvent(at=0.002, action="restore", victim=primary_victim),
+    ])
+    run_to(sim, sim.process(inj.run()))
+    cluster.stop()
+    (t1, a1, n1, d1), (t2, a2, n2, d2) = inj.timeline
+    assert (a1, n1, d1) == ("fail", victim, "stop")
+    assert (a2, n2, d2) == ("restore", victim, "")
+    assert t1 == pytest.approx(0.001) and t2 == pytest.approx(0.002)
+
+
+def test_equal_time_events_fire_in_declared_order():
+    """Satellite: sorting the schedule is stable, so two events at the
+    same instant fire in declaration order."""
+    sim, cluster = build("fo")
+    load(cluster)
+    cluster.start()
+    a, b = cluster.ring[0], cluster.ring[1]
+    inj = FaultInjector(cluster, [600], [
+        FaultEvent(at=0.001, action="slow", victim=a, factor=2.0),
+        FaultEvent(at=0.001, action="slow", victim=b, factor=3.0),
+        FaultEvent(at=0.002, action="heal", victim=a),
+        FaultEvent(at=0.002, action="heal", victim=b),
+    ])
+    run_to(sim, sim.process(inj.run()))
+    cluster.stop()
+    assert [(act, name) for _t, act, name, _d in inj.timeline] == [
+        ("slow", a), ("slow", b), ("heal", a), ("heal", b),
+    ]
+
+
+def test_secondary_victim_raises_when_no_candidate():
+    class TinyCluster:
+        def placement(self, inode, stripe):
+            return ["osd0", "osd1"]
+
+        def replica_of(self, name):
+            return "osd1"
+
+    with pytest.raises(RuntimeError, match="no eligible secondary victim"):
+        secondary_victim(TinyCluster(), [600])
+
+
+def test_victims_resolve_lazily_against_the_live_cluster():
+    """Satellite: pickers run at fire time — a membership change between
+    scheduling and firing changes who gets hit."""
+    sim, cluster = build("fo")
+    load(cluster)
+    cluster.start()
+    before = primary_victim(cluster, [600])
+    inj = FaultInjector(cluster, [600], [
+        FaultEvent(at=0.002, action="slow", victim=primary_victim, factor=2.0),
+        FaultEvent(at=0.003, action="heal", victim=primary_victim),
+    ])
+    rotated = list(cluster.ring[1:]) + [cluster.ring[0]]
+    sim.call_at(0.001, lambda: cluster.commit_ring(rotated))
+    run_to(sim, sim.process(inj.run()))
+    cluster.stop()
+    after = cluster.placement(600, 0)[0]
+    assert after != before  # the rotation really moved the primary
+    assert inj.timeline[0][2] == after
+
+
+# ----------------------------------------------------------------------
+# fail-slow devices
+# ----------------------------------------------------------------------
+def test_device_degrade_scales_service_time_and_heals():
+    sim = Simulator()
+    ssd = SSD(sim)
+    base = ssd.service_time("write", 4096, sequential=True)
+    ssd.degrade(6.0)
+    assert ssd.service_time("write", 4096, sequential=True) == base * 6.0
+    ssd.heal()
+    assert ssd.service_time("write", 4096, sequential=True) == base
+    with pytest.raises(ValueError):
+        ssd.degrade(0.0)
+
+
+# ----------------------------------------------------------------------
+# fabric degradation + egress loss
+# ----------------------------------------------------------------------
+def test_degrade_link_scales_bw_and_adds_latency():
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    fab.attach("a")
+    fab.attach("b")
+    fab.degrade_link("a", bw_factor=0.5, extra_latency=1e-4)
+
+    def proc():
+        yield from fab.transfer("a", "b", 1 << 20)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    wire = ((1 << 20) + NET_25GBE.header_bytes) / NET_25GBE.bandwidth
+    # tx serialisation doubles (half bandwidth); rx leg is untouched.
+    assert p.value == pytest.approx(3 * wire + NET_25GBE.base_latency + 1e-4)
+
+
+def test_heal_link_restores_profile_speed():
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    fab.attach("a")
+    fab.attach("b")
+    fab.degrade_link("a", bw_factor=0.25)
+    assert fab.link_state("a") is not None
+    fab.heal_link("a")
+    fab.heal_link("a")  # idempotent
+    assert fab.link_state("a") is None
+
+    def proc():
+        yield from fab.transfer("a", "b", 1 << 20)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    wire = ((1 << 20) + NET_25GBE.header_bytes) / NET_25GBE.bandwidth
+    assert p.value == pytest.approx(2 * wire + NET_25GBE.base_latency)
+
+
+def test_degrade_link_validation():
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    fab.attach("a")
+    with pytest.raises(KeyError):
+        fab.degrade_link("ghost", bw_factor=0.5)
+    with pytest.raises(ValueError):
+        fab.degrade_link("a", bw_factor=0.0)
+    with pytest.raises(ValueError):
+        fab.degrade_link("a", extra_latency=-1.0)
+    with pytest.raises(ValueError):
+        fab.degrade_link("a", loss_every=-1)
+
+
+def test_lossy_link_drops_every_nth_egress_message():
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    fab.attach("a")
+    fab.attach("b")
+    fab.degrade_link("a", loss_every=2)
+    outcomes = []
+
+    def one(kind):
+        try:
+            yield from fab.transfer("a", "b", 4096, kind=kind)
+            outcomes.append("ok")
+        except LinkLossError as exc:
+            assert exc.endpoint == "a"
+            outcomes.append("dropped")
+
+    def proc():
+        for _ in range(4):
+            yield from one("req")
+
+    run_to(sim, sim.process(proc()))
+    assert outcomes == ["ok", "dropped", "ok", "dropped"]
+    assert fab.dropped_total == 2
+    assert fab.link_state("a").dropped == 2
+
+
+def test_egress_loss_exempts_reply_and_err_frames():
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    fab.attach("a")
+    fab.attach("b")
+    fab.degrade_link("a", loss_every=1)  # would drop every countable message
+
+    def proc():
+        yield from fab.transfer("a", "b", 64, kind="read.reply")
+        yield from fab.transfer("a", "b", 64, kind="update.err")
+        return "delivered"
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "delivered"
+    assert fab.dropped_total == 0
+
+
+def test_transfer_counters_record_on_completion():
+    """Satellite: traffic counters move at delivery, not at issue — an
+    in-flight transfer contributes nothing yet."""
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    fab.attach("a")
+    fab.attach("b")
+
+    def proc():
+        yield from fab.transfer("a", "b", 1 << 20, kind="delta")
+
+    p = sim.process(proc())
+    wire = ((1 << 20) + NET_25GBE.header_bytes) / NET_25GBE.bandwidth
+    # Past the tx leg and switch latency, mid rx-deserialisation.
+    sim.run(until=wire + NET_25GBE.base_latency + wire / 2)
+    assert not p.fired
+    assert fab.counters.messages == 0 and fab.counters.bytes_sent == 0
+    assert fab.nics["a"].counters.bytes_sent == 0
+    sim.run()
+    assert p.fired
+    assert fab.counters.messages == 1 and fab.counters.bytes_sent == 1 << 20
+    assert fab.nics["a"].counters.bytes_sent == 1 << 20
+
+
+def test_dropped_transfer_counts_no_bytes():
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    fab.attach("a")
+    fab.attach("b")
+    fab.degrade_link("a", loss_every=1)
+
+    def proc():
+        try:
+            yield from fab.transfer("a", "b", 4096, kind="req")
+        except LinkLossError:
+            return "dropped"
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "dropped"
+    assert fab.counters.messages == 0 and fab.counters.bytes_sent == 0
+    assert fab.dropped_total == 1
+
+
+# ----------------------------------------------------------------------
+# elastic membership: provision, join, decommission
+# ----------------------------------------------------------------------
+def test_add_osd_provisions_outside_the_ring():
+    sim, cluster = build("fo")
+    cluster.start()
+    osd = cluster.add_osd()
+    assert osd.name == "osd8"
+    assert osd.running
+    assert osd.name not in cluster.ring
+    assert len(cluster.ring) == 8  # placement unchanged until commit
+    cluster.stop()
+
+
+def test_join_rebalances_and_preserves_data():
+    sim, cluster = build("fo")
+    data = load(cluster, stripes=4)
+    client = cluster.add_client("c0")
+    cluster.start()
+    osd = cluster.add_osd()
+    result = run_to(sim, sim.process(rebalance_join(cluster, osd.name)))
+    assert osd.name in cluster.ring and len(cluster.ring) == 9
+    assert result.kind == "join" and result.osd == osd.name
+    assert result.stripes_migrated > 0
+    assert result.blocks_moved > 0
+    assert result.bytes_moved == result.blocks_moved * BLOCK
+    assert result.t_end > result.t_start
+    for s in range(4):
+        assert cluster.stripe_consistent(600, s)
+    # Every key lives exactly at its (new) placement — stale copies pruned.
+    for s in range(4):
+        names = cluster.placement(600, s)
+        for b in range(K + M):
+            for other in cluster.osds:
+                blk = other.store.peek((600, s, b))
+                if other.name == names[b]:
+                    assert blk is not None
+                else:
+                    assert blk is None
+    # Reads decode byte-correct through the new membership.
+
+    def rd():
+        return (yield from client.read(600, 100, 256))
+
+    got = run_to(sim, sim.process(rd()))
+    cluster.stop()
+    assert np.array_equal(got, data[100:356])
+
+
+def test_decommission_moves_placement_and_stops_node():
+    sim, cluster = build("fo")
+    data = load(cluster, stripes=4)
+    client = cluster.add_client("c0")
+    cluster.start()
+    victim = cluster.placement(600, 0)[0]
+    result = run_to(sim, sim.process(rebalance_leave(cluster, victim)))
+    assert result.kind == "decommission"
+    assert victim not in cluster.ring and len(cluster.ring) == 7
+    victim_osd = cluster.osd_by_name(victim)
+    assert not victim_osd.running
+    assert not victim_osd.store.blocks  # fully copied away, then pruned
+    for s in range(4):
+        assert cluster.stripe_consistent(600, s)
+
+    def rd():
+        return (yield from client.read(600, 3 * BLOCK - 64, 128))
+
+    got = run_to(sim, sim.process(rd()))
+    cluster.stop()
+    assert np.array_equal(got, data[3 * BLOCK - 64 : 3 * BLOCK + 64])
+
+
+def test_rebalance_guards():
+    sim, cluster = build("fo")
+    load(cluster)
+    cluster.start()
+    # Join of an existing member / leave of a non-member are caller bugs.
+    with pytest.raises(ValueError, match="already a ring member"):
+        next(rebalance_join(cluster, cluster.ring[0]))
+    with pytest.raises(ValueError, match="not a ring member"):
+        next(rebalance_leave(cluster, "ghost"))
+    # A down member must be recovered before it can be decommissioned.
+    victim = cluster.ring[0]
+    fail_osd(cluster, victim, mode="stop")
+    with pytest.raises(StripeMigrationError, match="while it is down"):
+        next(rebalance_leave(cluster, victim))
+    cluster.stop()
+
+
+def test_decommission_below_min_ring_refused():
+    sim, cluster = build("fo", n_osds=6)  # exactly k+m members
+    load(cluster)
+    cluster.start()
+    with pytest.raises(StripeMigrationError, match="below k\\+m"):
+        next(rebalance_leave(cluster, cluster.ring[0]))
+    cluster.stop()
+
+
+# ----------------------------------------------------------------------
+# the live-change scenario axis end to end (tentpole acceptance)
+# ----------------------------------------------------------------------
+def test_elastic_scenarios_registered():
+    assert set(ELASTIC_SCENARIOS) <= set(SCENARIOS)
+    for name in ELASTIC_SCENARIOS:
+        scenario = SCENARIOS[name]
+        assert scenario.faults
+        assert not scenario.recovery  # heal by schedule, no watcher
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_scale_in_live_all_methods(method):
+    """The acceptance bar for migration: every method survives a live
+    decommission — consistent drain, clean forced scrub, full elastic
+    section, no lost foreground ops."""
+    res = run_scenario("scale_in_live", method=method, **SMOKE)
+    assert res.consistent
+    e = res.elastic
+    assert e is not None
+    assert e["decommissions"] == 1 and e["migrations"] == 1
+    assert e["stripes_migrated"] > 0 and e["migration_mb"] > 0
+    assert e["time_to_rebalance_s"] > 0
+    assert e["ring_size"] == 7
+    assert res.recovery["scrub_clean"] is True
+    assert res.updates + res.reads == SMOKE["n_clients"] * SMOKE["requests_per_client"]
+
+
+def test_scale_out_live_migrates_onto_joiner():
+    res = run_scenario("scale_out_live", **SMOKE)
+    e = res.elastic
+    assert e["joins"] == 1 and e["ring_size"] == 9
+    assert e["stripes_migrated"] > 0 and e["blocks_moved"] > 0
+    assert e["rebalance_copy_s"] > 0
+    assert res.recovery["scrub_clean"] is True
+    # Fault scenarios must run the event plane, never the projected one.
+    assert res.perf["fast_dataplane"] == 0.0
+
+
+def test_fail_slow_amplifies_the_tail():
+    res = run_scenario("fail_slow", **SMOKE)
+    e = res.elastic
+    assert e["slow_events"] == 1 and e["heals"] == 1
+    assert e["degraded_s"] > 0
+    assert e["straggler_p99_us"] > e["healthy_p99_us"]
+    assert e["straggler_amplification"] > 1.0
+    assert res.recovery["failures"] == 0  # nothing ever went down
+
+
+def test_congested_fabric_drops_and_retries():
+    res = run_scenario("congested_fabric", **SMOKE)
+    e = res.elastic
+    assert e["slow_link_events"] == 2 and e["heals"] == 2
+    assert e["link_drops"] > 0
+    assert res.recovery["update_retries"] > 0  # dropped requests retried
+    assert e["straggler_amplification"] > 1.0
+
+
+def test_rolling_restart_counts_and_dips():
+    res = run_scenario("rolling_restart", **SMOKE)
+    e = res.elastic
+    assert e["restarts"] == 3
+    assert res.recovery["failures"] == 3  # restart windows count as outages
+    assert res.recovery["recoveries"] == 0  # self-healing, no rebuild
+    assert e["change_window_s"] > 0
+    assert 0 < e["change_dip"] < 1.0  # foreground visibly dips
+
+
+def test_elastic_results_serialize():
+    res = run_scenario("fail_slow", **SMOKE)
+    payload = json.loads(json.dumps(res.to_dict()))
+    assert payload["elastic"]["slow_events"] == 1.0
+    assert "elastic" in res.render() and "straggler" in res.render()
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+def test_cli_bench_elastic_rows(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "bench.json"
+    rc = main(["bench", "--clients", "2", "--requests", "30",
+               "--scenarios", "steady", "--methods", "tsue",
+               "--recovery-scenario", "none",
+               "--scale-up-scenario", "none",
+               "--scale-out-scenario", "none",
+               "--elastic-scenarios", "fail_slow",
+               "--json", str(path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "per-method live-change rows (fail_slow)" in out
+    payload = json.loads(path.read_text())
+    row = payload["elastic"]["fail_slow"]["tsue"]
+    assert row["consistent"] is True
+    assert row["elastic"]["slow_events"] == 1.0
+    assert payload["perf"]["fail_slow/tsue"]["wall_s"] > 0
+
+
+def test_cli_bench_elastic_none_skips(tmp_path):
+    from repro.cli import main
+
+    path = tmp_path / "bench.json"
+    rc = main(["bench", "--clients", "2", "--requests", "30",
+               "--scenarios", "steady", "--methods", "tsue",
+               "--recovery-scenario", "none",
+               "--scale-up-scenario", "none",
+               "--scale-out-scenario", "none",
+               "--elastic-scenarios", "none",
+               "--json", str(path)])
+    assert rc == 0
+    assert "elastic" not in json.loads(path.read_text())
+
+
+def test_cli_bench_unknown_elastic_scenario_fails_fast(capsys):
+    from repro.cli import main
+
+    rc = main(["bench", "--elastic-scenarios", "bogus"])
+    assert rc == 2
+    assert "bogus" in capsys.readouterr().err

@@ -71,7 +71,7 @@ def test_lock_rules_fire():
     assert counts == {
         "lock-rmw-unserialized": 1,
         "lock-nested-serialize": 2,
-        "lock-yield-while-locked": 2,
+        "lock-yield-while-locked": 3,
     }
 
 
