@@ -157,9 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--elastic-scenarios", nargs="+", default=None,
                     metavar="NAME",
                     help="live-change scenarios for the per-method elastic "
-                         "sweeps (default: all five — fail_slow, "
+                         "sweeps (default: all seven — fail_slow, "
                          "congested_fabric, rolling_restart, scale_out_live, "
-                         "scale_in_live; \"none\" skips them)")
+                         "scale_in_live, lossy_cluster, throttled_rebalance; "
+                         "\"none\" skips them)")
     be.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                     help="fan scenario x method rows out over N worker "
                          "processes (each row is an isolated simulator; "

@@ -134,6 +134,17 @@ class Cluster:
         # fault-free runs see identical virtual time.
         self.migrating_stripes: Set[Tuple[int, int]] = set()
         self._active_stripe_ops: Dict[Tuple[int, int], int] = {}
+        # Per-stripe placement overrides, installed by the QoS rebalance as
+        # each stripe's copy lands (fence-copy-flip) and cleared wholesale
+        # when commit_ring() installs the new membership.  Empty outside a
+        # migration, so the healthy placement path pays one falsy check.
+        self.placement_overrides: Dict[Tuple[int, int], List[str]] = {}
+        # Latched by the QoS rebalance the first time drains run under live
+        # foreground traffic: from then on, strategies whose drain path
+        # must tolerate appends racing a recycle (PLR's reserved regions)
+        # switch to their drain-safe variant.  Never set on fault-free or
+        # classic-rebalance runs, so those keep the historical timing.
+        self.live_drain: bool = False
 
     # ------------------------------------------------------------------
     def _make_device(self, name: str) -> StorageDevice:
@@ -180,8 +191,14 @@ class Cluster:
 
         Maps onto the *current ring* — elastic membership changes move
         stripes by changing the ring (via :meth:`commit_ring`), and every
-        placement consumer follows automatically.
+        placement consumer follows automatically.  A QoS rebalance flips
+        stripes one at a time via ``placement_overrides`` before the final
+        ring commit.
         """
+        if self.placement_overrides:
+            override = self.placement_overrides.get((inode, stripe))
+            if override is not None:
+                return override
         ring = self.ring
         idx = placement(len(ring), self.config.k + self.config.m, inode, stripe)
         return [ring[i] for i in idx]
@@ -227,6 +244,9 @@ class Cluster:
                 raise ValueError(f"unknown ring member {name!r}")
         self.ring = list(new_ring)
         self._ring_pos = {n: i for i, n in enumerate(self.ring)}
+        # Any per-stripe overrides were stepping stones to exactly this
+        # membership; the committed ring now answers for every stripe.
+        self.placement_overrides.clear()
 
     # ------------------------------------------------------------------
     # elastic membership
@@ -265,16 +285,18 @@ class Cluster:
         self.mds.last_heartbeat[name] = self.sim.now
         return osd
 
-    def decommission_osd(self, name: str):
+    def decommission_osd(self, name: str, rebalance_mbps: float = 0.0):
         """Drain one OSD out of the ring (generator; run in a process).
 
         Delegates to the rebalance plane: migrate the leaver's blocks to
         the post-leave placement under the consistency gates, commit the
         shrunken ring, then stop the node.  Returns the RebalanceResult.
+        ``rebalance_mbps > 0`` selects the per-stripe QoS protocol with a
+        token-bucket copy throttle (see ``repro.recovery.rebalance``).
         """
         from repro.recovery.rebalance import rebalance_leave
 
-        result = yield from rebalance_leave(self, name)
+        result = yield from rebalance_leave(self, name, rebalance_mbps=rebalance_mbps)
         return result
 
     # ------------------------------------------------------------------

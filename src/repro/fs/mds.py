@@ -60,7 +60,12 @@ class MDS(RpcHost):
         self.register("stat", self._h_stat)
         # repro-lint: allow(rpc-dead-handler) -- protocol surface exercised from tests/scenarios, no src-tree sender yet
         self.register("locate", self._h_locate)
-        self.register("heartbeat", self._h_heartbeat)
+        # Heartbeats opt out of the at-most-once reply cache: the handler
+        # is idempotent by construction (last-writer-wins timestamp), a
+        # *replayed* heartbeat would report stale liveness, and the beat
+        # stream would otherwise churn the dedup table of every OSD's
+        # entry for no protection.
+        self.register("heartbeat", self._h_heartbeat, cache_reply=False)
         # repro-lint: allow(rpc-dead-handler) -- protocol surface exercised from tests/scenarios, no src-tree sender yet
         self.register("classify_write", self._h_classify)
 

@@ -9,6 +9,14 @@ real back-pressure.
 pays both transfer directions); ``send`` is one-way fire-and-forget used for
 background notifications.
 
+Delivery semantics are **at-most-once** (see docs/faults.md): every request
+carries a deterministic per-host request id, and each host keeps a bounded
+per-peer dedup table with a reply cache.  A retransmitted request whose
+original was already applied replays the cached reply instead of re-running
+the handler, so message loss anywhere on the fabric — requests, ``.reply``
+frames, ``.err`` frames — never double-applies an op.  The dedup table is
+volatile state: cleared by ``crash()``, preserved across ``stop()``.
+
 Failure semantics (the failure-injection scenarios build on these):
 
 * a host that is *stopped* (``stop()``, transient maintenance) blocks new
@@ -23,6 +31,7 @@ Failure semantics (the failure-injection scenarios build on these):
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Generator, Optional, Tuple
 
 from repro.net.fabric import Fabric, LinkLossError
@@ -53,6 +62,10 @@ class HostDownError(RuntimeError):
 # Transport faults a caller may retry: the destination is down but will
 # heal (HostDownError), or a lossy degraded link ate the request before
 # delivery (LinkLossError — the handler never ran, so a retry is safe).
+# ``rpc`` preserves that invariant under reply loss too: once a request has
+# been delivered, a dropped reply is handled *inside* ``rpc`` by
+# retransmitting the same request id (the dedup table makes that safe), so
+# a LinkLossError escaping ``rpc`` always means "never delivered".
 TRANSIENT_RPC_ERRORS = (HostDownError, LinkLossError)
 
 
@@ -63,7 +76,8 @@ class Message:
     construction cost is part of the per-op fast path.
     """
 
-    __slots__ = ("kind", "src", "dst", "payload", "nbytes", "reply_event", "sent_at")
+    __slots__ = ("kind", "src", "dst", "payload", "nbytes", "reply_event",
+                 "sent_at", "req_id")
 
     def __init__(
         self,
@@ -74,6 +88,7 @@ class Message:
         nbytes: int,
         reply_event: Optional[Event] = None,
         sent_at: float = 0.0,
+        req_id: Optional[int] = None,
     ):
         self.kind = kind
         self.src = src
@@ -82,6 +97,9 @@ class Message:
         self.nbytes = nbytes
         self.reply_event = reply_event
         self.sent_at = sent_at
+        # Per-source monotonic request id (None on one-way sends): the key
+        # of the at-most-once dedup table on the destination.
+        self.req_id = req_id
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Message {self.kind} {self.src}->{self.dst} {self.nbytes}B>"
@@ -95,6 +113,14 @@ class RpcHost:
     # silent hang into a diagnosable error.  Waiters sleep on the host's
     # state-change event, so the budget costs one timer, not a poll loop.
     CONNECT_BUDGET_S = 60.0
+
+    # At-most-once plane: per-peer dedup/reply-cache capacity (FIFO
+    # eviction), and the retransmission timer of ``rpc`` for requests whose
+    # reply was lost — deterministic capped exponential, no jitter entropy.
+    DEDUP_CAPACITY = 128
+    RETRANSMIT_RTO_S = 1e-3
+    RETRANSMIT_RTO_CAP_S = 16e-3
+    RETRANSMIT_BUDGET_S = 60.0
 
     def __init__(self, sim: Simulator, fabric: Fabric, name: str):
         self.sim = sim
@@ -115,14 +141,33 @@ class RpcHost:
         # crash() — so connect-waiters blocked on a stopped host wake
         # exactly when its state changes instead of busy-polling.
         self._state_change: Optional[Event] = None
+        # --- at-most-once delivery state ---------------------------------
+        # Monotonic outgoing request-id counter (deterministic, no entropy).
+        self._next_req_id = 0
+        # peer name -> OrderedDict[req_id -> outcome entry], FIFO-bounded at
+        # DEDUP_CAPACITY per peer.  Entries: ("inflight",) while the handler
+        # runs, then ("ok", payload, nbytes) or ("err", exc).  Volatile:
+        # cleared on crash() together with the rest of in-memory state,
+        # preserved across stop().
+        self._dedup: Dict[str, "OrderedDict[int, tuple]"] = {}
+        # Kinds registered with cache_reply=False skip the dedup table
+        # entirely (idempotent-by-construction traffic like heartbeats).
+        self._uncached_kinds: set = set()
+        # Delivery-plane counters (metrics, not protocol state — survive
+        # crash so the elastic rows can report them).
+        self.retransmits = 0
+        self.duplicates_suppressed = 0
+        self.cached_reply_hits = 0
 
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
-    def register(self, kind: str, handler: Handler) -> None:
+    def register(self, kind: str, handler: Handler, cache_reply: bool = True) -> None:
         if kind in self.handlers:
             raise ValueError(f"handler for {kind!r} already registered on {self.name}")
         self.handlers[kind] = handler
+        if not cache_reply:
+            self._uncached_kinds.add(kind)
 
     def connect(self, peers: Dict[str, "RpcHost"]) -> None:
         """Install the cluster-wide name -> host routing table."""
@@ -159,7 +204,8 @@ class RpcHost:
 
         Callers attempting new RPCs block at the transport until a restart
         (transient-outage semantics); queued mailbox messages are served
-        when the host comes back.
+        when the host comes back.  The dedup table survives — a retransmit
+        arriving after the restart still replays its cached reply.
         """
         self.running = False
         if self._dispatcher is not None and self._dispatcher.is_alive:
@@ -170,7 +216,8 @@ class RpcHost:
         """Fail-stop: abort in-flight handlers and fail all pending callers.
 
         New RPCs fail fast with :class:`HostDownError` until the host is
-        restarted via :meth:`start`.
+        restarted via :meth:`start`.  The dedup table and reply cache are
+        volatile and lost with the rest of in-memory state.
         """
         self.running = False
         self.crashed = True
@@ -187,6 +234,7 @@ class RpcHost:
         for msg in self.mailbox.pop_all():
             if msg.reply_event is not None and not msg.reply_event.triggered:
                 msg.reply_event.fail(HostDownError(self.name, f"crashed before {msg.kind}"))
+        self._dedup.clear()
 
     # ------------------------------------------------------------------
     # serving
@@ -205,8 +253,46 @@ class RpcHost:
             tag = self._reply_kinds[kind] = kind + ".reply"
         return tag
 
+    def _dedup_record(self, src: str, req_id: int, entry: tuple) -> None:
+        table = self._dedup.get(src)
+        if table is None:
+            table = self._dedup[src] = OrderedDict()
+        table[req_id] = entry
+        if len(table) > self.DEDUP_CAPACITY:
+            table.popitem(last=False)
+
+    def _record_outcome(self, msg: "Message", entry: tuple) -> None:
+        """Flip the dedup entry to its final outcome.
+
+        Called *before* the reply transfer is paid: by the time a caller
+        can possibly retransmit (its reply event failed, which only happens
+        after a reply-transfer attempt), the outcome is already cached.
+        """
+        if msg.req_id is None or msg.kind in self._uncached_kinds:
+            return
+        self._dedup_record(msg.src, msg.req_id, entry)
+
     def _spawn_handler(self, sim: Simulator, msg: "Message") -> None:
         inflight = self._inflight
+        if msg.req_id is not None and msg.kind not in self._uncached_kinds:
+            table = self._dedup.get(msg.src)
+            entry = table.get(msg.req_id) if table is not None else None
+            if entry is not None:
+                self.duplicates_suppressed += 1
+                if entry[0] == "inflight":
+                    # Protocol-unreachable (a caller only retransmits after
+                    # its reply event failed, and outcomes are recorded
+                    # before the reply transfer), but defensively fail the
+                    # duplicate as lost-on-the-wire so the caller's RTO
+                    # retransmits instead of hanging on an orphaned event.
+                    if msg.reply_event is not None and not msg.reply_event.triggered:
+                        msg.reply_event.fail(LinkLossError(self.name, msg.kind))
+                    return
+                proc = sim.process(self._replay(msg, entry), name=msg.kind)
+                inflight[proc] = msg
+                proc.add_callback(lambda _ev, p=proc: inflight.pop(p, None))
+                return
+            self._dedup_record(msg.src, msg.req_id, ("inflight",))
         proc = sim.process(self._handle(msg), name=msg.kind)
         inflight[proc] = msg
         proc.add_callback(lambda _ev, p=proc: inflight.pop(p, None))
@@ -219,17 +305,53 @@ class RpcHost:
         synchronously and immediately re-waits), so delivery can spawn the
         handler directly and skip the put -> get-event -> dispatcher-resume
         round trip.  Messages for a stopped host queue in the mailbox and
-        are served by the dispatcher the restart boots.
+        are served by the dispatcher the restart boots.  Both paths funnel
+        through :meth:`_spawn_handler`, where the dedup table is consulted.
         """
         if self.running and not self.crashed:
             self._spawn_handler(self.sim, msg)
         else:
             self.mailbox.put(msg)
 
+    def _replay(self, msg: "Message", entry: tuple):
+        """Serve a duplicate of an applied request from the reply cache.
+
+        Pays the reply (or ``.err``) transfer exactly like a fresh reply —
+        the caller cannot tell a replay from a first delivery — but never
+        re-runs the handler: that is the at-most-once contract.
+        """
+        self.cached_reply_hits += 1
+        try:
+            if entry[0] == "ok":
+                _tag, payload, nbytes = entry
+                yield from self.fabric.transfer(
+                    self.name, msg.src, nbytes + MSG_OVERHEAD,
+                    kind=self._reply_kind(msg.kind),
+                )
+                if msg.reply_event is not None and not msg.reply_event.triggered:
+                    msg.reply_event.succeed(payload)
+            else:  # ("err", exc)
+                yield from self.fabric.transfer(
+                    self.name, msg.src, MSG_OVERHEAD, kind=f"{msg.kind}.err"
+                )
+                if msg.reply_event is not None and not msg.reply_event.triggered:
+                    msg.reply_event.fail(entry[1])
+        except LinkLossError as loss:
+            # The replayed reply was dropped too: fail the caller's reply
+            # event so its RTO fires and it retransmits again.
+            if msg.reply_event is not None and not msg.reply_event.triggered:
+                msg.reply_event.fail(loss)
+        except Interrupt:
+            if msg.reply_event is not None and not msg.reply_event.triggered:
+                msg.reply_event.fail(
+                    HostDownError(self.name, f"crashed replaying {msg.kind}")
+                )
+
     def _handle(self, msg: Message):
         handler = self.handlers.get(msg.kind)
         if handler is None:
             err = KeyError(f"{self.name} has no handler for {msg.kind!r}")
+            self._record_outcome(msg, ("err", err))
             if msg.reply_event is not None:
                 msg.reply_event.fail(err)
                 return
@@ -238,10 +360,22 @@ class RpcHost:
             result = yield from handler(msg)
             if msg.reply_event is not None:
                 payload, nbytes = result if result is not None else ({}, 0)
-                yield from self.fabric.transfer(
-                    self.name, msg.src, nbytes + MSG_OVERHEAD,
-                    kind=self._reply_kind(msg.kind),
-                )
+                # Cache the outcome BEFORE paying the reply transfer: if the
+                # reply frame drops, the retransmit must hit a done entry.
+                self._record_outcome(msg, ("ok", payload, nbytes))
+                try:
+                    yield from self.fabric.transfer(
+                        self.name, msg.src, nbytes + MSG_OVERHEAD,
+                        kind=self._reply_kind(msg.kind),
+                    )
+                except LinkLossError as loss:
+                    # Reply frame dropped on a lossy link.  The op IS
+                    # applied and cached; failing the reply event models
+                    # the caller's retransmission timer firing, and the
+                    # same-id retransmit replays the cached reply.
+                    if not msg.reply_event.triggered:
+                        msg.reply_event.fail(loss)
+                    return
                 if not msg.reply_event.triggered:
                     msg.reply_event.succeed(payload)
         except Interrupt:
@@ -256,9 +390,15 @@ class RpcHost:
             # Application-level failure: deliver it to the caller as the
             # RPC outcome instead of crashing the serving node.
             if msg.reply_event is not None:
-                yield from self.fabric.transfer(
-                    self.name, msg.src, MSG_OVERHEAD, kind=f"{msg.kind}.err"
-                )
+                self._record_outcome(msg, ("err", err))
+                try:
+                    yield from self.fabric.transfer(
+                        self.name, msg.src, MSG_OVERHEAD, kind=f"{msg.kind}.err"
+                    )
+                except LinkLossError as loss:
+                    if not msg.reply_event.triggered:
+                        msg.reply_event.fail(loss)
+                    return
                 if not msg.reply_event.triggered:
                     msg.reply_event.fail(err)
                 return
@@ -272,6 +412,13 @@ class RpcHost:
             return self.peers[dst]
         except KeyError:
             raise KeyError(f"{self.name} has no route to {dst!r}") from None
+
+    def _alloc_req_id(self) -> int:
+        """Next outgoing request id — a plain counter, so two runs with the
+        same schedule allocate the same ids (determinism gate)."""
+        rid = self._next_req_id
+        self._next_req_id = rid + 1
+        return rid
 
     def _connect(self, dst: str, host: "RpcHost"):
         """Wait for a stopped host; refuse a crashed one (generator).
@@ -296,27 +443,101 @@ class RpcHost:
                 (host._state_change_event(), self.sim.timeout(remaining)),
             )
 
-    def rpc(self, dst: str, kind: str, payload: dict, nbytes: int = 0):
-        """Request/response call; returns the reply payload (generator)."""
+    def rpc(self, dst: str, kind: str, payload: dict, nbytes: int = 0,
+            _req_id: Optional[int] = None):
+        """Request/response call; returns the reply payload (generator).
+
+        At-most-once: the request carries a per-host monotonic id.  A
+        :class:`LinkLossError` on the *forward* leg of a fresh request
+        propagates (the handler never ran — the caller may retry the whole
+        op with a new id).  Once the request has been delivered, a lost
+        reply (or a lost retransmission) is handled here: the same id is
+        retransmitted after a deterministic capped-exponential timeout and
+        the destination's dedup table replays the cached reply, so the op
+        is never applied twice.  ``_req_id`` lets :meth:`rpc_with_retry`
+        pin one id across its attempts.
+        """
         host = self._route(dst)
+        req_id = self._alloc_req_id() if _req_id is None else _req_id
+        delivered = False
+        rto = self.RETRANSMIT_RTO_S
+        rto_deadline = None
         while True:
-            if not host.running:
-                yield from self._connect(dst, host)
-            yield from self.fabric.transfer(
-                self.name, dst, nbytes + MSG_OVERHEAD, kind=kind
-            )
-            if host.running:
-                break
-            if host.crashed:
-                # Went down while the request was on the wire.
-                raise HostDownError(dst)
-            # Stopped mid-transfer: retransmit once it is back.
-        reply = Event(self.sim, name="reply")
-        host._deliver(
-            Message(kind, self.name, dst, payload, nbytes, reply, self.sim.now)
-        )
-        result = yield reply
-        return result
+            try:
+                while True:
+                    if not host.running:
+                        yield from self._connect(dst, host)
+                    yield from self.fabric.transfer(
+                        self.name, dst, nbytes + MSG_OVERHEAD, kind=kind
+                    )
+                    if host.running:
+                        break
+                    if host.crashed:
+                        # Went down while the request was on the wire.
+                        raise HostDownError(dst)
+                    # Stopped mid-transfer: retransmit once it is back.
+            except LinkLossError:
+                if not delivered:
+                    # The request never reached the handler: safe for the
+                    # caller to retry the whole op with a fresh id.
+                    raise
+                # A *retransmission* was lost; only this loop may resend
+                # (same id), so fall through to the timer.
+            else:
+                delivered = True
+                reply = Event(self.sim, name="reply")
+                host._deliver(
+                    Message(kind, self.name, dst, payload, nbytes, reply,
+                            self.sim.now, req_id)
+                )
+                try:
+                    result = yield reply
+                    return result
+                except LinkLossError:
+                    # The reply frame was dropped: retransmit the same id
+                    # below; the dedup table makes the resend safe.
+                    pass
+            if rto_deadline is None:
+                rto_deadline = self.sim.now + self.RETRANSMIT_BUDGET_S
+            if self.sim.now >= rto_deadline:
+                # Loud failure instead of LinkLossError: the request WAS
+                # delivered, so surfacing a transient-retryable error here
+                # would invite an unsafe whole-op retry upstream.
+                raise RuntimeError(
+                    f"{self.name}: retransmit budget exhausted for "
+                    f"{kind!r} -> {dst!r} (req {req_id})"
+                )
+            self.retransmits += 1
+            yield min(rto, max(rto_deadline - self.sim.now, 1e-9))
+            rto = min(rto * 2.0, self.RETRANSMIT_RTO_CAP_S)
+
+    def rpc_delivered(self, dst: str, kind: str, payload: dict, nbytes: int = 0):
+        """``rpc`` that absorbs pre-delivery request loss (generator).
+
+        For nested *foreground* fan-out inside handlers (parity-delta
+        forwards, replica ships): a :class:`LinkLossError` out of ``rpc``
+        means the request never reached the handler, so resending with a
+        fresh id is safe — and absorbing it here keeps a lossy source link
+        from surfacing as a spurious application error to the op's owner,
+        whose whole-op retry would re-run delta computation.  Every other
+        failure (crash, application error, retransmit-budget exhaustion)
+        propagates unchanged.  Pacing mirrors the reply-loss retransmission
+        timer: deterministic capped exponential, hard budget.
+        """
+        rto = self.RETRANSMIT_RTO_S
+        deadline = None
+        while True:
+            try:
+                result = yield from self.rpc(dst, kind, payload, nbytes=nbytes)
+                return result
+            except LinkLossError:
+                if deadline is None:
+                    deadline = self.sim.now + self.RETRANSMIT_BUDGET_S
+                if self.sim.now >= deadline:
+                    raise
+                self.retransmits += 1
+                yield min(rto, max(deadline - self.sim.now, 1e-9))
+                rto = min(rto * 2.0, self.RETRANSMIT_RTO_CAP_S)
 
     def rpc_with_retry(
         self,
@@ -326,37 +547,66 @@ class RpcHost:
         nbytes: int = 0,
         interval: float = 2e-3,
         budget: float = 120.0,
+        backoff: float = 2.0,
+        max_interval: float = 64e-3,
     ):
         """``rpc`` that retries transient transport faults until they heal.
 
-        For *background* pushes only (log recycle forwards): the work is
-        owned by a detached worker with nobody upstream to retry it, and the
-        destination is guaranteed to come back (recovery revives the serving
-        plane of every down OSD, restores revive it outright).  Foreground
-        paths must NOT use this — their callers own the retry policy.
-        Note the op may be applied twice when a crash eats the reply of an
-        applied request; post-recovery parity repair heals that, which is
-        why this helper is reserved for crash-recoverable delta traffic.
+        For *background* pushes only (log recycle forwards, migration
+        copies): the work is owned by a detached worker with nobody
+        upstream to retry it, and the destination is guaranteed to come
+        back (recovery revives the serving plane of every down OSD,
+        restores revive it outright).  Foreground paths must NOT use this —
+        their callers own the retry policy.
+
+        All attempts share one request id, so a retry after a transient
+        fault deduplicates against the destination's reply cache whenever
+        that cache survived (stop/restart, lost reply) — the op is applied
+        at most once.  A crash wipes the cache with the rest of volatile
+        state; post-crash reconciliation is owned by recovery, exactly as
+        for the strategy state the crash also lost.
+
+        Pacing is deadline-aware capped exponential backoff (deterministic,
+        no jitter): the delay starts at ``interval``, multiplies by
+        ``backoff`` up to ``max_interval``, and the last sleep is clamped
+        to the remaining budget so the deadline check always fires.
+        ``backoff=1.0`` degenerates to the historical fixed cadence.
 
         The budget is enforced against a deadline computed once from
         ``sim.now`` — accumulating ``waited += interval`` in floats drifts
         after thousands of retries and can over- or under-shoot the budget.
         """
+        if interval <= 0.0:
+            # interval=0 would sleep zero virtual time: sim.now never
+            # advances, the deadline check never fires, and a down
+            # destination spins this process forever at one instant.
+            raise ValueError(f"retry interval must be > 0, got {interval!r}")
+        if backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1.0, got {backoff!r}")
         deadline = self.sim.now + budget
+        delay = float(interval)
+        req_id = self._alloc_req_id()
         while True:
             try:
-                result = yield from self.rpc(dst, kind, payload, nbytes=nbytes)
+                result = yield from self.rpc(
+                    dst, kind, payload, nbytes=nbytes, _req_id=req_id
+                )
                 return result
             except TRANSIENT_RPC_ERRORS:
-                if self.sim.now >= deadline:
+                remaining = deadline - self.sim.now
+                if remaining <= 0:
                     raise
-                yield float(interval)
+                yield min(delay, remaining)
+                if backoff > 1.0:
+                    delay = min(delay * backoff, max_interval)
 
     def send(self, dst: str, kind: str, payload: dict, nbytes: int = 0):
         """One-way message: pays the forward transfer only (generator).
 
         Sends to a crashed host are dropped (fire-and-forget); sends to a
-        stopped host queue and are served at restart.
+        stopped host queue and are served at restart.  No request id: a
+        one-way notification has no reply to cache, and its consumers are
+        idempotent by contract.
         """
         host = self._route(dst)
         yield from self.fabric.transfer(

@@ -34,8 +34,16 @@ class LinkState:
     bw_factor: float = 1.0      # effective bandwidth = profile bw * factor
     extra_latency: float = 0.0  # added to base_latency per message
     loss_every: int = 0         # drop every Nth *egress* message (0 = none)
+    loss_scope: str = "requests"  # "requests" exempts .reply/.err frames;
+                                  # "all" drops any egress frame
     messages: int = 0           # egress messages considered for loss
-    dropped: int = 0            # egress messages dropped
+    dropped_requests: int = 0   # request frames dropped
+    dropped_replies: int = 0    # .reply/.err frames dropped (scope "all")
+
+    @property
+    def dropped(self) -> int:
+        """Total egress messages dropped on this link, both directions."""
+        return self.dropped_requests + self.dropped_replies
 
 
 @dataclass(frozen=True)
@@ -72,10 +80,13 @@ class Fabric:
 
     Per-endpoint degradation (``degrade_link``) scales that endpoint's
     serialisation bandwidth and adds per-message latency; lossy mode drops
-    every Nth message *sent* by the endpoint (egress only, and never
-    ``.reply``/``.err`` frames).  Egress-only loss keeps drops ahead of any
-    handler state change for request traffic, so retrying a dropped
-    message is always safe for the sender that owns the lossy link.
+    every Nth message *sent* by the endpoint.  The loss scope selects the
+    frames at risk: ``"requests"`` exempts ``.reply``/``.err`` frames (a
+    drop then always precedes any handler state change, so whole-op
+    retries are trivially safe), while ``"all"`` may drop any egress
+    frame — safe only because the RPC plane dedups retransmitted request
+    ids and replays cached replies (at-most-once delivery,
+    ``repro.fs.messages``).
     """
 
     def __init__(self, sim: Simulator, profile: NetworkProfile = NET_25GBE):
@@ -85,10 +96,30 @@ class Fabric:
         self.counters = NetCounters()
         self.fast_plane = False
         # endpoint name -> LinkState; absent == healthy.  Drops survive
-        # heal_link() in dropped_total so scenario metrics can read them
-        # after the schedule heals everything.
+        # heal_link(): the live link's per-direction counters are folded
+        # into the fabric totals before the state is popped, so scenario
+        # metrics can read them after the schedule heals everything.
         self._links: Dict[str, LinkState] = {}
-        self.dropped_total = 0
+        self._dropped_requests = 0
+        self._dropped_replies = 0
+
+    @property
+    def dropped_requests(self) -> int:
+        """Request frames dropped, healed links folded in."""
+        return self._dropped_requests + sum(
+            link.dropped_requests for link in self._links.values()
+        )
+
+    @property
+    def dropped_replies(self) -> int:
+        """``.reply``/``.err`` frames dropped, healed links folded in."""
+        return self._dropped_replies + sum(
+            link.dropped_replies for link in self._links.values()
+        )
+
+    @property
+    def dropped_total(self) -> int:
+        return self.dropped_requests + self.dropped_replies
 
     # ------------------------------------------------------------------
     # link degradation plane
@@ -99,8 +130,18 @@ class Fabric:
         bw_factor: float = 1.0,
         extra_latency: float = 0.0,
         loss_every: int = 0,
+        loss_scope: str = "requests",
     ) -> None:
-        """Degrade one endpoint's link; calling again replaces the state."""
+        """Degrade one endpoint's link; calling again replaces the state.
+
+        ``loss_scope`` selects which egress frames the deterministic
+        counter-based loss considers: ``"requests"`` (historical default)
+        exempts ``.reply``/``.err`` frames entirely — they pass through
+        without even advancing the loss counter — while ``"all"`` counts
+        and may drop every egress frame.  Scope ``"all"`` is only safe
+        because the RPC plane is at-most-once (request dedup + reply
+        caching in ``repro.fs.messages``); see docs/faults.md.
+        """
         if endpoint not in self.nics:
             raise KeyError(f"endpoint {endpoint!r} not attached")
         if bw_factor <= 0:
@@ -109,15 +150,27 @@ class Fabric:
             raise ValueError(f"extra_latency must be >= 0, got {extra_latency!r}")
         if loss_every < 0:
             raise ValueError(f"loss_every must be >= 0, got {loss_every!r}")
+        if loss_scope not in ("requests", "all"):
+            raise ValueError(
+                f"loss_scope must be 'requests' or 'all', got {loss_scope!r}"
+            )
         self._links[endpoint] = LinkState(
             bw_factor=float(bw_factor),
             extra_latency=float(extra_latency),
             loss_every=int(loss_every),
+            loss_scope=loss_scope,
         )
 
     def heal_link(self, endpoint: str) -> None:
-        """Return an endpoint's link to profile speed; idempotent."""
-        self._links.pop(endpoint, None)
+        """Return an endpoint's link to profile speed; idempotent.
+
+        Drop counters are folded into the fabric totals so the metrics
+        survive the heal.
+        """
+        link = self._links.pop(endpoint, None)
+        if link is not None:
+            self._dropped_requests += link.dropped_requests
+            self._dropped_replies += link.dropped_replies
 
     def link_state(self, endpoint: str) -> "LinkState | None":
         return self._links.get(endpoint)
@@ -126,14 +179,18 @@ class Fabric:
         """Deterministic counter-based loss for one egress message."""
         if not link.loss_every:
             return False
-        if kind.endswith(".reply") or kind.endswith(".err"):
-            # Never drop replies or shipped errors: the handler already
-            # ran, so at-most-once callers could not safely retry.
+        is_reply = kind.endswith(".reply") or kind.endswith(".err")
+        if is_reply and link.loss_scope != "all":
+            # Scope "requests": replies and shipped errors pass through
+            # without advancing the loss counter — the historical counter
+            # stream the committed bench rows encode.
             return False
         link.messages += 1
         if link.messages % link.loss_every == 0:
-            link.dropped += 1
-            self.dropped_total += 1
+            if is_reply:
+                link.dropped_replies += 1
+            else:
+                link.dropped_requests += 1
             return True
         return False
 

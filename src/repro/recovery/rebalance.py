@@ -29,10 +29,17 @@ migration protocol, not a per-node trickle:
 7. **Gate (post-flip) + unfence** — every migrated stripe must be
    parity-consistent under the *new* placement before the fence lifts.
 
-The protocol deliberately trades availability for simplicity: moving
-stripes are write-fenced for the whole copy (measured and reported as the
-foreground dip in elastic scenarios) — matching the paper's evaluation
-focus on update-scheme cost, not on production rebalance throttling.
+The protocol above trades availability for simplicity: moving stripes
+are write-fenced for the whole copy (measured and reported as the
+foreground dip in elastic scenarios).  Passing ``rebalance_mbps > 0``
+selects the **QoS rebalance** instead (:func:`_rebalance_qos`): the same
+seven steps run *per stripe* — fence one stripe, quiesce it, drain, gate,
+copy its blocks, flip it via ``cluster.placement_overrides``, gate again,
+unfence — so at any instant at most one stripe is write-fenced, and the
+copy is paced by a token-bucket bandwidth throttle with adaptive
+parallelism when a copy source's link is degraded (the XX-Net
+multi-connection pattern).  The final :meth:`Cluster.commit_ring` installs
+the new membership and clears the per-stripe overrides it subsumes.
 """
 
 from __future__ import annotations
@@ -69,6 +76,9 @@ class RebalanceResult:
     copy_seconds: float = 0.0
     t_start: float = 0.0
     t_end: float = 0.0
+    # QoS rebalance only (zero on the classic whole-set protocol).
+    throttle_mbps: float = 0.0    # token-bucket rate the copy was paced to
+    throttle_wait_s: float = 0.0  # virtual time spent waiting for tokens
 
     @property
     def total_seconds(self) -> float:
@@ -78,23 +88,37 @@ class RebalanceResult:
     def mb_moved(self) -> float:
         return self.bytes_moved / (1 << 20)
 
+    @property
+    def throttle_utilization(self) -> float:
+        """Achieved copy rate over the granted rate (0 when unthrottled)."""
+        if self.throttle_mbps <= 0.0 or self.copy_seconds <= 0.0:
+            return 0.0
+        return self.mb_moved / (self.throttle_mbps * self.copy_seconds)
 
-def rebalance_join(cluster, osd_name: str):
+
+def rebalance_join(cluster, osd_name: str, rebalance_mbps: float = 0.0):
     """Commit a provisioned OSD (see ``Cluster.add_osd``) into the ring.
 
-    Generator; returns a :class:`RebalanceResult`.
+    Generator; returns a :class:`RebalanceResult`.  ``rebalance_mbps > 0``
+    selects the per-stripe QoS protocol with a token-bucket copy throttle.
     """
     if osd_name in cluster.ring:
         raise ValueError(f"{osd_name!r} is already a ring member")
     new_ring = list(cluster.ring) + [osd_name]
-    result = yield from _rebalance(cluster, "join", osd_name, new_ring)
+    if rebalance_mbps > 0.0:
+        result = yield from _rebalance_qos(
+            cluster, "join", osd_name, new_ring, rebalance_mbps
+        )
+    else:
+        result = yield from _rebalance(cluster, "join", osd_name, new_ring)
     return result
 
 
-def rebalance_leave(cluster, osd_name: str):
+def rebalance_leave(cluster, osd_name: str, rebalance_mbps: float = 0.0):
     """Migrate an OSD's placement away, shrink the ring, stop the node.
 
-    Generator; returns a :class:`RebalanceResult`.
+    Generator; returns a :class:`RebalanceResult`.  ``rebalance_mbps > 0``
+    selects the per-stripe QoS protocol with a token-bucket copy throttle.
     """
     if osd_name not in cluster.ring:
         raise ValueError(f"{osd_name!r} is not a ring member")
@@ -110,7 +134,12 @@ def rebalance_leave(cluster, osd_name: str):
             "must be recovered first"
         )
     new_ring = [n for n in cluster.ring if n != osd_name]
-    result = yield from _rebalance(cluster, "decommission", osd_name, new_ring)
+    if rebalance_mbps > 0.0:
+        result = yield from _rebalance_qos(
+            cluster, "decommission", osd_name, new_ring, rebalance_mbps
+        )
+    else:
+        result = yield from _rebalance(cluster, "decommission", osd_name, new_ring)
     # The leaver is out of placement and fully copied away: take it out of
     # service in the same instant as the flip (no yields since commit).
     victim = cluster.osd_by_name(osd_name)
@@ -231,5 +260,159 @@ def _rebalance(cluster, kind: str, osd_name: str, new_ring: List[str]):
                 )
     finally:
         cluster.migrating_stripes.difference_update(moved_keys)
+    result.t_end = sim.now
+    return result
+
+
+# QoS copy parallelism: conservative by default so foreground traffic keeps
+# most of the fabric; doubled (multi-connection, the XX-Net pattern) when a
+# copy source's link is degraded, so per-connection slowdown is compensated
+# with width instead of letting the token bucket sit idle.
+QOS_BASE_PARALLELISM = 4
+
+
+def _rebalance_qos(
+    cluster, kind: str, osd_name: str, new_ring: List[str], rebalance_mbps: float
+):
+    """Per-stripe fence-copy-flip rebalance under a bandwidth throttle.
+
+    Same plan, gates and copy path as :func:`_rebalance`, restructured so
+    only *one* stripe is fenced at a time: quiesce + drain + pre-copy gate,
+    copy that stripe's relocated blocks under the token bucket, install a
+    ``cluster.placement_overrides`` entry as the flip, gate post-flip, and
+    unfence — foreground ops on every other stripe keep flowing the whole
+    time.  The final ``commit_ring`` replaces the accumulated overrides
+    with the new membership in one non-yielding step.
+
+    The token bucket grants ``rebalance_mbps`` MiB of copy traffic per
+    virtual second: each batch waits for its grant before issuing, and the
+    accumulated wait is reported as ``throttle_wait_s`` (utilization =
+    achieved rate / granted rate).  Deterministic: the grant clock is pure
+    float arithmetic off ``sim.now``, no entropy.
+    """
+    from repro.harness.experiment import drain_all
+    from repro.recovery.recovery import _ensure_recovery_handlers
+
+    sim = cluster.sim
+    cfg = cluster.config
+    span = cfg.k * cfg.block_size
+    result = RebalanceResult(
+        kind=kind, osd=osd_name, t_start=sim.now,
+        throttle_mbps=float(rebalance_mbps),
+    )
+
+    # Plan: identical to the classic protocol.
+    moved: List[Tuple[int, int, List[str], List[str]]] = []
+    for inode, meta in sorted(cluster.mds.files.items()):
+        for stripe in range(meta.size // span):
+            old_names = cluster.placement(inode, stripe)
+            new_names = cluster.placement_on(new_ring, inode, stripe)
+            result.stripes_total += 1
+            if old_names != new_names:
+                moved.append((inode, stripe, old_names, new_names))
+    result.stripes_migrated = len(moved)
+
+    _ensure_recovery_handlers(cluster)
+    # Drains below run while foreground ops keep flowing on unfenced
+    # stripes, so recycles can race appends; latch the cluster into
+    # drain-safe mode for the rest of the run (later drains must sweep
+    # any entries such a race stranded).
+    cluster.live_drain = True
+    rate = float(rebalance_mbps) * float(1 << 20)  # bytes / virtual second
+    next_grant = sim.now
+
+    def move_one(key, src, dst):
+        dst_osd = cluster.osd_by_name(dst)
+        rep = yield from dst_osd.rpc_with_retry(
+            src, "recovery_read", {"key": key}, nbytes=24, interval=1e-3
+        )
+        yield from dst_osd.store.write_block(key, rep["data"], pattern="seq")
+
+    try:
+        for inode, stripe, old_names, new_names in moved:
+            skey = (inode, stripe)
+            # Fence + quiesce THIS stripe only.
+            cluster.migrating_stripes.add(skey)
+            t0 = sim.now
+            deadline = sim.now + QUIESCE_BUDGET_S
+            while not cluster.stripes_quiesced((skey,)):
+                if sim.now >= deadline:
+                    raise StripeMigrationError(
+                        f"{kind} of {osd_name!r}: foreground ops on stripe "
+                        f"{skey} did not quiesce within {QUIESCE_BUDGET_S}s"
+                    )
+                yield sim.timeout(QUIESCE_POLL_S)
+            result.quiesce_seconds += sim.now - t0
+
+            # Drain pending log state so blocks hold the post-log truth,
+            # then gate under the old placement.
+            t0 = sim.now
+            yield from drain_all(cluster)
+            result.drain_seconds += sim.now - t0
+            if not cluster.stripe_consistent(inode, stripe):
+                raise StripeMigrationError(
+                    f"stripe ({inode},{stripe}) inconsistent before {kind} "
+                    f"migration — refusing to copy corruption"
+                )
+
+            # Copy this stripe's relocated, materialised blocks under the
+            # token bucket.
+            t0 = sim.now
+            copies: List[Tuple[Tuple[int, int, int], str, str]] = []
+            for b in range(cfg.k + cfg.m):
+                src, dst = old_names[b], new_names[b]
+                if src == dst:
+                    continue
+                key = (inode, stripe, b)
+                if cluster.osd_by_name(src).store.peek(key) is None:
+                    continue  # sparse: all-zero everywhere by construction
+                copies.append((key, src, dst))
+            parallelism = QOS_BASE_PARALLELISM
+            if any(
+                cluster.fabric.link_state(src) is not None
+                for _key, src, _dst in copies
+            ):
+                parallelism *= 2
+            pending = list(copies)
+            while pending:
+                batch = pending[:parallelism]
+                del pending[:parallelism]
+                if rate > 0.0:
+                    start = next_grant if next_grant > sim.now else sim.now
+                    if start > sim.now:
+                        result.throttle_wait_s += start - sim.now
+                        yield start - sim.now
+                    next_grant = start + (len(batch) * cfg.block_size) / rate
+                procs = [sim.process(move_one(*item)) for item in batch]
+                yield AllOf(sim, procs)
+            result.blocks_moved += len(copies)
+            result.bytes_moved += len(copies) * cfg.block_size
+            result.copy_seconds += sim.now - t0
+
+            # Flip THIS stripe (non-yielding): overrides route placement to
+            # the new homes, stale source copies are pruned, and the
+            # post-flip gate runs under the override before the fence lifts.
+            cluster.placement_overrides[skey] = list(new_names)
+            for key, src, _dst in copies:
+                cluster.osd_by_name(src).store.blocks.pop(key, None)
+            if not cluster.stripe_consistent(inode, stripe):
+                raise StripeMigrationError(
+                    f"stripe ({inode},{stripe}) inconsistent after {kind} "
+                    f"migration"
+                )
+            cluster.migrating_stripes.discard(skey)
+
+        # Every stripe is flipped: install the membership (clears the
+        # overrides it subsumes).  No on_rebuilt() here: each per-stripe
+        # flip already ran against a fenced, quiesced and drained stripe,
+        # so this commit is placement-neutral bookkeeping — and unfenced
+        # stripes kept updating through the copy windows, so the wholesale
+        # reset would wipe their live speculation/log state (pending PARIX
+        # deltas, for one) mid-flow.
+        cluster.commit_ring(new_ring)
+    finally:
+        cluster.migrating_stripes.difference_update(
+            (inode, stripe) for inode, stripe, _, _ in moved
+        )
     result.t_end = sim.now
     return result

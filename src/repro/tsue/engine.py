@@ -442,6 +442,9 @@ class TSUEEngine:
                                 "primary": primary,
                             },
                             nbytes=nbytes,
+                            # Fixed cadence: the committed bench rows
+                            # encode this retry timing.
+                            backoff=1.0,
                         )
                     )
                 )
@@ -462,6 +465,9 @@ class TSUEEngine:
                             "tsue_parity",
                             {"pkey": (inode, stripe, k + p), "entries": pentries},
                             nbytes=nbytes,
+                            # Fixed cadence: the committed bench rows
+                            # encode this retry timing.
+                            backoff=1.0,
                         )
                     )
                 )
@@ -500,6 +506,9 @@ class TSUEEngine:
                         "tsue_parity",
                         {"pkey": pkey, "entries": entries},
                         nbytes=nbytes,
+                        # Fixed cadence: the committed bench rows encode
+                        # this retry timing.
+                        backoff=1.0,
                     )
                 )
             )

@@ -67,7 +67,7 @@ class CoRDStrategy(UpdateStrategy):
         )
         inode, stripe, _j = key
         collector = self.cluster.placement(inode, stripe)[self.cluster.config.k]
-        yield from self.osd.rpc(
+        yield from self.osd.rpc_delivered(
             collector,
             "cord_collect",
             {"key": key, "offset": offset, "delta": delta},
@@ -172,6 +172,9 @@ class CoRDStrategy(UpdateStrategy):
                                     "cord_apply",
                                     {"pkey": pkey, "entries": entries},
                                     nbytes=nbytes,
+                                    # Fixed cadence: the committed bench
+                                    # rows encode this retry timing.
+                                    backoff=1.0,
                                 )
                             )
                         )

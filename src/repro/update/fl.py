@@ -93,6 +93,9 @@ class FLStrategy(UpdateStrategy):
                                         "pdelta": pdelta,
                                     },
                                     nbytes=int(pdelta.size),
+                                    # Fixed cadence: the committed bench
+                                    # rows encode this retry timing.
+                                    backoff=1.0,
                                 )
                             )
                         )

@@ -18,13 +18,18 @@ Actions (the full taxonomy is documented in ``docs/faults.md``):
 * ``"slow_link"`` — degrade the victim's fabric endpoint: bandwidth
   divided by ``factor``, ``extra_latency`` added per message, and every
   ``loss_every``-th egress message dropped (forcing caller retries).
+  ``loss_scope`` widens the frames at risk from requests only (default)
+  to every egress frame including ``.reply``/``.err`` — safe on any
+  endpoint because the RPC plane is at-most-once.
 * ``"heal"`` — undo ``slow``/``slow_link`` on the victim.
 * ``"restart"`` — rolling-restart step: stop-mode outage healed by a
   scheduled restore ``duration`` seconds later (no operator event needed).
 * ``"join"`` — provision a fresh OSD and rebalance it into the placement
   ring (blocks the injector until the migration commits).  No victim.
+  ``rebalance_mbps > 0`` runs the per-stripe QoS rebalance under a
+  token-bucket copy throttle instead of the classic whole-set protocol.
 * ``"decommission"`` — migrate a node's placement away, shrink the ring,
-  stop the node.
+  stop the node.  Honors ``rebalance_mbps`` like ``join``.
 """
 
 from __future__ import annotations
@@ -74,9 +79,13 @@ def secondary_victim(cluster, inodes: Sequence[int]) -> str:
 def client_victim(cluster, inodes: Sequence[int]) -> str:
     """The first client endpoint — for link-degradation schedules.
 
-    Egress loss on a *client* link is always retry-safe: a dropped request
-    dies before any OSD handler runs, so the client-side retry can never
-    double-apply a partially-forwarded update (see the Fabric docstring).
+    Historically loss had to be scheduled here: a dropped client request
+    dies before any OSD handler runs, so the retry could never
+    double-apply.  With the at-most-once RPC plane (request dedup + reply
+    caching, see ``repro.fs.messages``) that restriction is gone — loss
+    may be scheduled on any endpoint and any frame direction
+    (``loss_scope="all"``); this picker remains for schedules that want
+    the client's vantage point specifically.
     """
     return cluster.clients[0].name
 
@@ -103,7 +112,9 @@ class FaultEvent:
     factor: float = 1.0             # slow / slow_link severity multiplier
     extra_latency: float = 0.0      # slow_link: added per-message latency
     loss_every: int = 0             # slow_link: drop every Nth egress msg
+    loss_scope: str = "requests"    # slow_link: "requests" | "all" frames
     duration: float = 0.0           # restart: outage length in seconds
+    rebalance_mbps: float = 0.0     # join/decommission: QoS copy throttle
 
     def __post_init__(self):
         if self.action not in ACTIONS:
@@ -135,11 +146,27 @@ class FaultEvent:
             raise ValueError(
                 "extra_latency/loss_every are only meaningful on slow_link events"
             )
+        if self.loss_scope not in ("requests", "all"):
+            raise ValueError(
+                f"loss_scope must be 'requests' or 'all', got {self.loss_scope!r}"
+            )
+        if self.action != "slow_link" and self.loss_scope != "requests":
+            raise ValueError(
+                "loss_scope is only meaningful on slow_link events"
+            )
         if self.action == "restart":
             if self.duration <= 0:
                 raise ValueError("restart requires duration > 0")
         elif self.duration:
             raise ValueError("duration is only meaningful on restart events")
+        if self.rebalance_mbps < 0:
+            raise ValueError(
+                f"rebalance_mbps must be >= 0, got {self.rebalance_mbps!r}"
+            )
+        if self.action not in ("join", "decommission") and self.rebalance_mbps:
+            raise ValueError(
+                "rebalance_mbps is only meaningful on join/decommission events"
+            )
 
 
 class FaultInjector:
@@ -205,7 +232,9 @@ class FaultInjector:
             if interval is not None:
                 osd.start_heartbeat(interval)
             self.timeline.append((sim.now, "join", osd.name, ""))
-            result = yield from rebalance_join(cluster, osd.name)
+            result = yield from rebalance_join(
+                cluster, osd.name, rebalance_mbps=event.rebalance_mbps
+            )
             self.migrations.append(result)
             return
         name = self._resolve(event.victim)
@@ -225,6 +254,7 @@ class FaultInjector:
                 bw_factor=1.0 / event.factor,
                 extra_latency=event.extra_latency,
                 loss_every=event.loss_every,
+                loss_scope=event.loss_scope,
             )
             self._open_window(name)
             self.timeline.append((sim.now, "slow_link", name, f"x{event.factor:g}"))
@@ -245,7 +275,9 @@ class FaultInjector:
             )
         elif action == "decommission":
             self.timeline.append((sim.now, "decommission", name, ""))
-            result = yield from cluster.decommission_osd(name)
+            result = yield from cluster.decommission_osd(
+                name, rebalance_mbps=event.rebalance_mbps
+            )
             self.migrations.append(result)
         else:  # pragma: no cover - ACTIONS is validated in FaultEvent
             raise AssertionError(f"unhandled action {action!r}")

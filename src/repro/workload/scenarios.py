@@ -42,15 +42,20 @@ p99, and the foreground-throughput dip while nodes were down.
 
 **Live-change scenarios** (:data:`ELASTIC_SCENARIOS`) exercise the rest of
 the fault plane: fail-slow devices (``fail_slow``), degraded/lossy fabric
-links (``congested_fabric``), rolling restarts (``rolling_restart``), and
-elastic membership — a live join (``scale_out_live``) and a live
-decommission (``scale_in_live``) that migrate stripe placement through
+links (``congested_fabric``), loss on every frame class including replies
+(``lossy_cluster``), rolling restarts (``rolling_restart``), and elastic
+membership — a live join (``scale_out_live``), a live decommission
+(``scale_in_live``), and the same decommission under a QoS copy throttle
+(``throttled_rebalance``) — migrating stripe placement through
 :mod:`repro.recovery.rebalance` while foreground updates continue.  They
 run under every standing gate the failure scenarios do (consistent drain,
 heal-before-drain, forced post-recovery scrub) and report an extra
 ``elastic`` section: straggler-amplification p99 (degraded windows vs
 healthy time), migration volume and time-to-rebalance, link drops, and the
-foreground dip across every change window.
+foreground dip across every change window.  Scenarios that enable
+full-scope loss add the delivery-plane counters (retransmits, duplicates
+suppressed, cached-reply hits, per-direction drops); throttled rebalances
+add the granted rate, token-wait time and throttle utilization.
 """
 
 from __future__ import annotations
@@ -383,6 +388,38 @@ register_scenario(Scenario(
         FaultEvent(at=0.004, action="decommission", victim=primary_victim),
     ),
 ))
+register_scenario(Scenario(
+    name="lossy_cluster",
+    description="loss anywhere on the fabric: the primary's OSD link and "
+                "the client link both drop every Nth egress frame of ANY "
+                "kind (requests, replies, errors) — the at-most-once "
+                "plane's dedup/retransmit machinery keeps drains exact",
+    make_arrivals=lambda: PoissonArrivals(rate=4000.0),
+    iodepth=8,
+    read_fraction=0.2,
+    faults=(
+        FaultEvent(at=0.003, action="slow_link", victim=primary_victim,
+                   factor=2.0, loss_every=6, loss_scope="all"),
+        FaultEvent(at=0.003, action="slow_link", victim=client_victim,
+                   factor=2.0, loss_every=9, loss_scope="all"),
+        FaultEvent(at=0.014, action="heal", victim=primary_victim),
+        FaultEvent(at=0.014, action="heal", victim=client_victim),
+    ),
+))
+register_scenario(Scenario(
+    name="throttled_rebalance",
+    description="scale_in_live under QoS: the same live decommission, but "
+                "the migration copy is paced by a 96 MB/s token bucket so "
+                "foreground traffic keeps its bandwidth during the change "
+                "window",
+    make_arrivals=lambda: PoissonArrivals(rate=4000.0),
+    iodepth=8,
+    read_fraction=0.2,
+    faults=(
+        FaultEvent(at=0.004, action="decommission", victim=primary_victim,
+                   rebalance_mbps=96.0),
+    ),
+))
 
 # The live-change sweep set (``repro bench`` runs each over every method)
 # and the actions whose presence makes a scenario report an ``elastic``
@@ -393,6 +430,8 @@ ELASTIC_SCENARIOS = (
     "rolling_restart",
     "scale_out_live",
     "scale_in_live",
+    "lossy_cluster",
+    "throttled_rebalance",
 )
 ELASTIC_ACTIONS = ("slow", "slow_link", "heal", "join", "decommission", "restart")
 
@@ -536,6 +575,20 @@ class ScenarioResult:
                 f"  change dip : {e['change_dip']:.2f}x in-window update rate "
                 f"over {e['change_window_s'] * 1e3:,.1f} ms of change windows"
             )
+            if "retransmits" in e:
+                text += (
+                    f"\n  delivery   : {e['retransmits']:.0f} retransmits, "
+                    f"{e['duplicates_suppressed']:.0f} dups suppressed "
+                    f"({e['cached_reply_hits']:.0f} cached replies) | "
+                    f"drops {e['link_drop_requests']:.0f} req / "
+                    f"{e['link_drop_replies']:.0f} reply"
+                )
+            if "throttle_utilization" in e:
+                text += (
+                    f"\n  throttle   : {e['rebalance_throttle_mbps']:.0f} MB/s "
+                    f"granted, {e['throttle_utilization'] * 100:.0f}% used, "
+                    f"{e['rebalance_throttle_wait_s'] * 1e3:,.2f} ms token wait"
+                )
         return text
 
 
@@ -979,7 +1032,7 @@ def _elastic_metrics(cluster, injector, horizon) -> dict:
     out_rate = out_count / out_s if out_s > 0 else 0.0
     dip = in_rate / out_rate if out_rate > 0 else 0.0
 
-    return {
+    out = {
         "slow_events": float(counts.get("slow", 0)),
         "slow_link_events": float(counts.get("slow_link", 0)),
         "heals": float(counts.get("heal", 0)),
@@ -1003,6 +1056,31 @@ def _elastic_metrics(cluster, injector, horizon) -> dict:
         "change_dip": dip,
         "ring_size": float(len(cluster.ring)),
     }
+    # Extra sections are gated on the *schedule*, never on run results:
+    # committed baseline rows must keep their exact key set (new keys in
+    # an existing row read as drift to ``--check-baseline``).
+    if any(e.action == "slow_link" and e.loss_scope == "all"
+           for e in injector.events):
+        hosts = list(cluster.clients) + list(cluster.osds) + [cluster.mds]
+        out["retransmits"] = float(sum(h.retransmits for h in hosts))
+        out["duplicates_suppressed"] = float(
+            sum(h.duplicates_suppressed for h in hosts))
+        out["cached_reply_hits"] = float(
+            sum(h.cached_reply_hits for h in hosts))
+        out["link_drop_requests"] = float(cluster.fabric.dropped_requests)
+        out["link_drop_replies"] = float(cluster.fabric.dropped_replies)
+    if any(e.rebalance_mbps > 0 for e in injector.events):
+        throttled = [r for r in migrations if r.throttle_mbps > 0]
+        granted_mb = sum(r.throttle_mbps * r.copy_seconds for r in throttled)
+        out["rebalance_throttle_mbps"] = max(
+            (r.throttle_mbps for r in throttled), default=0.0)
+        out["rebalance_throttle_wait_s"] = sum(
+            r.throttle_wait_s for r in throttled)
+        out["throttle_utilization"] = (
+            sum(r.mb_moved for r in throttled) / granted_mb
+            if granted_mb > 0 else 0.0
+        )
+    return out
 
 
 # Canonical method order for per-method sweeps: the in-place family in the

@@ -15,6 +15,7 @@ from repro.recovery import (
     rebalance_join,
     rebalance_leave,
 )
+from repro.harness.experiment import drain_all
 from repro.sim import Simulator
 from repro.update import make_strategy_factory
 from repro.workload import (
@@ -540,3 +541,318 @@ def test_cli_bench_unknown_elastic_scenario_fails_fast(capsys):
     rc = main(["bench", "--elastic-scenarios", "bogus"])
     assert rc == 2
     assert "bogus" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# the at-most-once fault plane: loss scopes, direction accounting,
+# QoS-throttled rebalance (satellites + tentpole acceptance)
+# ----------------------------------------------------------------------
+def test_degrade_link_loss_scope_validation():
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    fab.attach("a")
+    with pytest.raises(ValueError, match="loss_scope"):
+        fab.degrade_link("a", loss_every=2, loss_scope="everything")
+    with pytest.raises(KeyError):
+        fab.degrade_link("ghost", loss_every=2, loss_scope="all")
+
+
+def test_fault_event_loss_scope_and_throttle_scoping():
+    """Satellite: strict FaultEvent field validation for the new knobs."""
+    # loss_scope: only meaningful on slow_link, only the two known values.
+    with pytest.raises(ValueError, match="loss_scope"):
+        FaultEvent(at=0.0, action="slow_link", victim="osd0", factor=2.0,
+                   loss_every=2, loss_scope="sometimes")
+    with pytest.raises(ValueError, match="slow_link"):
+        FaultEvent(at=0.0, action="slow", victim="osd0", factor=2.0,
+                   loss_scope="all")
+    with pytest.raises(ValueError, match="slow_link"):
+        FaultEvent(at=0.0, action="fail", victim="osd0", loss_scope="all")
+    # rebalance_mbps: only on the membership actions, never negative.
+    with pytest.raises(ValueError, match="rebalance_mbps"):
+        FaultEvent(at=0.0, action="slow", victim="osd0", factor=2.0,
+                   rebalance_mbps=64.0)
+    with pytest.raises(ValueError, match="rebalance_mbps"):
+        FaultEvent(at=0.0, action="join", rebalance_mbps=-1.0)
+    # The valid combinations construct cleanly.
+    ok = FaultEvent(at=0.0, action="slow_link", victim="osd0", factor=2.0,
+                    loss_every=3, loss_scope="all")
+    assert ok.loss_scope == "all"
+    assert FaultEvent(at=0.0, action="join", rebalance_mbps=64.0).rebalance_mbps == 64.0
+    assert FaultEvent(at=0.0, action="decommission", victim="osd0",
+                      rebalance_mbps=96.0).rebalance_mbps == 96.0
+
+
+def test_loss_scope_all_drops_replies_with_direction_accounting():
+    """Satellite: scope=\"all\" covers reply/err frames, and drops are
+    accounted per direction and folded into fabric totals on heal."""
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    fab.attach("a")
+    fab.attach("b")
+    fab.degrade_link("a", loss_every=1, loss_scope="all")
+    outcomes = []
+
+    def one(kind):
+        try:
+            yield from fab.transfer("a", "b", 256, kind=kind)
+            outcomes.append("ok")
+        except LinkLossError:
+            outcomes.append("dropped")
+
+    def proc():
+        yield from one("req")
+        yield from one("read.reply")
+        yield from one("update.err")
+
+    run_to(sim, sim.process(proc()))
+    assert outcomes == ["dropped", "dropped", "dropped"]
+    assert fab.link_state("a").dropped_requests == 1
+    assert fab.link_state("a").dropped_replies == 2
+    assert fab.link_state("a").dropped == 3
+    assert (fab.dropped_requests, fab.dropped_replies) == (1, 2)
+    fab.heal_link("a")  # folds the per-link counters into the fabric
+    assert (fab.dropped_requests, fab.dropped_replies) == (1, 2)
+    assert fab.dropped_total == 3
+
+
+def test_default_scope_still_exempts_replies():
+    """The historical contract is the default: requests-only loss leaves
+    every reply/err frame alone (and off the countable-message stream)."""
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    fab.attach("a")
+    fab.attach("b")
+    fab.degrade_link("a", loss_every=1)  # loss_scope="requests"
+
+    def proc():
+        yield from fab.transfer("a", "b", 64, kind="read.reply")
+        yield from fab.transfer("a", "b", 64, kind="update.err")
+        return "delivered"
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "delivered"
+    assert fab.dropped_replies == 0
+
+
+def test_retransmitted_transfer_bytes_count_at_completion():
+    """Satellite: a dropped frame moves no counters; only the successful
+    retransmission counts — and exactly once, at delivery time."""
+    sim = Simulator()
+    fab = Fabric(sim, NET_25GBE)
+    fab.attach("a")
+    fab.attach("b")
+    fab.degrade_link("a", loss_every=2, loss_scope="all")
+
+    def proc():
+        yield from fab.transfer("a", "b", 1024, kind="d")   # 1st: delivered
+        try:
+            yield from fab.transfer("a", "b", 2048, kind="d")  # 2nd: dropped
+        except LinkLossError:
+            yield from fab.transfer("a", "b", 2048, kind="d")  # retransmit
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.fired
+    assert fab.counters.messages == 2          # only delivered frames
+    assert fab.counters.bytes_sent == 1024 + 2048  # retransmit counted once
+    assert fab.link_state("a").dropped == 1
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_lossy_drained_state_matches_lossless(method):
+    """The retry-safety property: with loss on OSD egress AND reply frames,
+    every method drains to the byte-identical state of a lossless run fed
+    the same RNG draws.  Fails on the pre-at-most-once transport (reply
+    loss either double-applied deltas or was simply unsupported)."""
+    def run(lossy):
+        sim, cluster = build(method)
+        data = load(cluster, stripes=2)
+        client = cluster.add_client("c0")
+        cluster.start()
+        victim = cluster.placement(600, 0)[0]
+        if lossy:
+            cluster.fabric.degrade_link(victim, bw_factor=0.5, loss_every=3,
+                                        loss_scope="all")
+            cluster.fabric.degrade_link("c0", bw_factor=0.5, loss_every=4,
+                                        loss_scope="all")
+        rng = np.random.default_rng(99)
+        offsets = rng.integers(0, 2 * K * BLOCK - 64, size=24)
+        payloads = rng.integers(0, 256, size=(24, 64), dtype=np.uint8)
+
+        def work():
+            # One client, sequential ops: a total order, so loss can delay
+            # but never reorder — the drained bytes must match exactly.
+            for off, buf in zip(offsets, payloads):
+                yield from client.update(600, int(off), buf)
+            if lossy:
+                cluster.fabric.heal_link(victim)
+                cluster.fabric.heal_link("c0")
+            yield from drain_all(cluster)
+
+        run_to(sim, sim.process(work()), horizon=240.0)
+        cluster.stop()
+        state = {
+            osd.name: {
+                key: blk.tobytes()
+                for key, blk in sorted(osd.store.blocks.items())
+            }
+            for osd in cluster.osds
+        }
+        dropped = cluster.fabric.dropped_total
+        return state, dropped
+
+    lossless, d0 = run(lossy=False)
+    lossy, d1 = run(lossy=True)
+    assert d0 == 0 and d1 > 0  # the lossy run really did lose frames
+    assert lossy == lossless
+
+
+def test_lossy_cluster_all_methods_smoke():
+    """The scenario gate for one method (the full seven-method sweep runs
+    in the bench): consistent drain, clean scrub, live delivery metrics."""
+    res = run_scenario("lossy_cluster", method="tsue", **SMOKE)
+    assert res.consistent
+    assert res.recovery["scrub_clean"] is True
+    e = res.elastic
+    assert e["slow_link_events"] == 2 and e["heals"] == 2
+    assert e["retransmits"] > 0
+    assert e["duplicates_suppressed"] > 0
+    assert e["cached_reply_hits"] > 0
+    assert e["link_drop_replies"] > 0
+    assert e["link_drops"] == e["link_drop_requests"] + e["link_drop_replies"]
+    assert res.updates + res.reads == SMOKE["n_clients"] * SMOKE["requests_per_client"]
+
+
+def test_throttled_rebalance_softens_the_change_dip():
+    """QoS acceptance: same decommission, same migration plan — but the
+    token-bucket copy leaves foreground updates a strictly better in-window
+    rate than the unthrottled rebalance."""
+    base = run_scenario("scale_in_live", method="tsue", **SMOKE)
+    qos = run_scenario("throttled_rebalance", method="tsue", **SMOKE)
+    assert qos.consistent and qos.recovery["scrub_clean"] is True
+    b, q = base.elastic, qos.elastic
+    assert q["stripes_migrated"] == b["stripes_migrated"]  # equal volume
+    assert q["rebalance_throttle_mbps"] == 96.0
+    assert q["rebalance_throttle_wait_s"] > 0
+    assert 0.0 < q["throttle_utilization"] < 2.0
+    assert q["change_dip"] > b["change_dip"]  # higher ratio = smaller dip
+    # The throttle stretches the copy: the change window grows, the pain
+    # per unit time shrinks.
+    assert q["rebalance_copy_s"] > b["rebalance_copy_s"]
+    # Baseline rows keep their historical key set (bit-identity gate).
+    assert "throttle_utilization" not in b
+    assert "retransmits" not in b
+
+
+# ----------------------------------------------------------------------
+# drains under live traffic (the QoS path drains per stripe while every
+# other stripe keeps updating — regressions here corrupt parity silently)
+# ----------------------------------------------------------------------
+def test_plr_live_drain_keeps_delta_appended_mid_recycle():
+    """A parity delta that lands while a live drain is mid-recycle must
+    start a fresh ledger and be applied by the next pass.  Fails on the
+    pre-fix recycle, which zeroed the region counters *after* its device
+    yields — stranding the mid-flight delta invisibly in the index forever.
+    The historical (sync) recycle keeps its exact pre-PR timing; only
+    drains on a cluster latched into live_drain (the QoS rebalance) take
+    the drain-safe path."""
+    from types import SimpleNamespace
+
+    sim, cluster = build("plr")
+    load(cluster, stripes=1)
+    cluster.start()
+    parity = cluster.osd_by_name(cluster.placement(600, 0)[K])
+    strat = parity.strategy
+    pkey = (600, 0, K)
+    d1 = np.full(64, 3, dtype=np.uint8)
+    d2 = np.full(64, 5, dtype=np.uint8)
+    p0 = parity.store.peek(pkey).copy()
+
+    def append(offset, pdelta):
+        msg = SimpleNamespace(payload={"pkey": pkey, "offset": offset,
+                                       "pdelta": pdelta})
+        yield from strat._h_append(msg)
+
+    run_to(sim, sim.process(append(0, d1)))
+    # Race a second append against a live drain of the first: its region
+    # write (96 B) completes inside the recycle's chunk read+write window.
+    cluster.live_drain = True  # as latched by the QoS rebalance
+    p_rec = sim.process(strat.drain(0))
+    p_app = sim.process(append(128, d2))
+    run_to(sim, p_rec)
+    run_to(sim, p_app)
+    # The mid-recycle delta is pending again — visibly, so gates skip it.
+    assert strat.region_used.get(pkey, 0) > 0
+    assert strat.stripe_pending(600, 0)
+    run_to(sim, sim.process(drain_all(cluster)))
+    assert pkey not in list(strat.log_index.blocks())
+    assert strat.region_used.get(pkey, 0) == 0
+    expect = p0.copy()
+    expect[0:64] ^= d1
+    expect[128:192] ^= d2
+    assert np.array_equal(parity.store.peek(pkey), expect)
+
+
+def test_plr_live_drain_sweeps_stranded_entries():
+    """The historical sync recycle keeps its pre-PR timing, so an append
+    racing it can still strand an index entry under a zeroed ledger.  On a
+    live_drain cluster the stripe must stay visibly pending and the next
+    drain must sweep the strand into the parity chunk."""
+    from types import SimpleNamespace
+
+    sim, cluster = build("plr")
+    load(cluster, stripes=1)
+    cluster.start()
+    parity = cluster.osd_by_name(cluster.placement(600, 0)[K])
+    strat = parity.strategy
+    pkey = (600, 0, K)
+    d1 = np.full(64, 3, dtype=np.uint8)
+    d2 = np.full(64, 5, dtype=np.uint8)
+    p0 = parity.store.peek(pkey).copy()
+
+    def append(offset, pdelta):
+        msg = SimpleNamespace(payload={"pkey": pkey, "offset": offset,
+                                       "pdelta": pdelta})
+        yield from strat._h_append(msg)
+
+    run_to(sim, sim.process(append(0, d1)))
+    run_to(sim, sim.process(drain_all(cluster)))  # applies d1, ledger zeroed
+    # Manufacture the race outcome: entry in the index, ledger reads zero.
+    strat.log_index.insert(pkey, 128, d2)
+    cluster.live_drain = True
+    assert strat.stripe_pending(600, 0)
+    run_to(sim, sim.process(drain_all(cluster)))
+    assert pkey not in list(strat.log_index.blocks())
+    assert not strat.stripe_pending(600, 0)
+    expect = p0.copy()
+    expect[0:64] ^= d1
+    expect[128:192] ^= d2
+    assert np.array_equal(parity.store.peek(pkey), expect)
+
+
+def test_qos_rebalance_skips_wholesale_on_rebuilt():
+    """The final QoS commit is placement-neutral (every moved stripe already
+    routes through its override, installed against a fenced + drained
+    stripe), so it must NOT fire the wholesale on_rebuilt() reset: unfenced
+    stripes keep updating through the copy windows, and the reset would wipe
+    their live pending state (PARIX deltas, for one) mid-flow."""
+    def run(mbps):
+        sim, cluster = build("parix", n_osds=8)
+        load(cluster, stripes=2)
+        cluster.start()
+        calls = []
+        for osd in cluster.osds:
+            osd.strategy.on_rebuilt = (
+                lambda name=osd.name: calls.append(name)
+            )
+        victim = cluster.placement(600, 0)[0]
+        res = run_to(
+            sim, sim.process(rebalance_leave(cluster, victim, rebalance_mbps=mbps))
+        )
+        assert res.stripes_migrated > 0
+        return calls
+
+    assert run(64.0) == []          # QoS path: no wholesale reset
+    assert len(run(0.0)) == 7       # classic path: every new-ring member

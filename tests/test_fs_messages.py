@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.fs.messages import MSG_OVERHEAD, Message, RpcHost
+from repro.fs.messages import MSG_OVERHEAD, HostDownError, Message, RpcHost
 from repro.net import Fabric, NET_25GBE
 from repro.sim import Simulator
 
@@ -147,3 +147,230 @@ def test_stop_halts_dispatch():
     sim.process(a.send("b", "sink", {}, nbytes=0))
     sim.run(until=1.0)
     assert got == []
+
+
+# ----------------------------------------------------------------------
+# the at-most-once plane: dedup, reply cache, retransmission
+# ----------------------------------------------------------------------
+def make_counting_pair():
+    sim, fab, a, b = make_pair()
+    applied = []
+
+    def apply(msg):
+        yield sim.timeout(0)
+        applied.append(msg.payload["v"])
+        return {"ack": msg.payload["v"]}, 8
+
+    b.register("apply", apply)
+    a.start()
+    b.start()
+    return sim, fab, a, b, applied
+
+
+def test_duplicate_request_id_replays_cached_reply():
+    """The at-most-once contract at its smallest: same id, one apply."""
+    sim, fab, a, b, applied = make_counting_pair()
+
+    def caller():
+        rid = a._alloc_req_id()
+        r1 = yield from a.rpc("b", "apply", {"v": 1}, nbytes=8, _req_id=rid)
+        r2 = yield from a.rpc("b", "apply", {"v": 1}, nbytes=8, _req_id=rid)
+        return r1, r2
+
+    p = sim.process(caller())
+    sim.run(until=1.0)
+    r1, r2 = p.value
+    assert r1 == r2 == {"ack": 1}
+    assert applied == [1]  # handler ran once; duplicate served from cache
+    assert b.duplicates_suppressed == 1
+    assert b.cached_reply_hits == 1
+
+
+def test_reply_loss_retransmits_same_id_and_never_double_applies():
+    """Lose the reply frame on the wire: the op is applied exactly once and
+    the caller still gets the payload via a cached-reply retransmit.
+
+    Fails on the pre-at-most-once transport, where reply frames were exempt
+    from loss precisely because a lost reply forced a double-applying
+    whole-op retry.
+    """
+    sim, fab, a, b, applied = make_counting_pair()
+    # Every b-egress frame (the replies) drops until the link heals.
+    fab.degrade_link("b", loss_every=1, loss_scope="all")
+
+    def healer():
+        yield 0.005
+        fab.heal_link("b")
+
+    def caller():
+        return (yield from a.rpc("b", "apply", {"v": 7}, nbytes=8))
+
+    sim.process(healer())
+    p = sim.process(caller())
+    sim.run(until=1.0)
+    assert p.value == {"ack": 7}
+    assert applied == [7]           # exactly one application
+    assert a.retransmits >= 1       # the RTO fired at least once
+    assert b.duplicates_suppressed >= 1
+    assert b.cached_reply_hits >= 1
+    assert fab.dropped_replies >= 1 and fab.dropped_requests == 0
+
+
+def test_retransmit_budget_exhaustion_is_loud():
+    """A delivered request whose replies never get through must not surface
+    a transient-retryable error (that would invite an unsafe whole-op
+    retry): it raises RuntimeError."""
+    sim, fab, a, b, applied = make_counting_pair()
+    fab.degrade_link("b", loss_every=1, loss_scope="all")  # never heals
+
+    def caller():
+        yield from a.rpc("b", "apply", {"v": 3}, nbytes=8)
+
+    sim.process(caller())
+    with pytest.raises(RuntimeError, match="retransmit budget exhausted"):
+        sim.run(until=RpcHost.RETRANSMIT_BUDGET_S * 2)
+    assert applied == [3]  # delivered and applied once despite the failure
+
+
+def test_dedup_table_is_bounded_fifo():
+    sim, fab, a, b, applied = make_counting_pair()
+    b.DEDUP_CAPACITY = 4  # instance override keeps the test cheap
+
+    def caller():
+        for v in range(6):
+            yield from a.rpc("b", "apply", {"v": v}, nbytes=8)
+
+    p = sim.process(caller())
+    sim.run(until=1.0)
+    assert p.fired
+    table = b._dedup["a"]
+    assert len(table) == 4
+    assert list(table) == [2, 3, 4, 5]  # FIFO: oldest ids evicted first
+
+    # A duplicate of an evicted id is indistinguishable from a fresh
+    # request — at-most-once degrades to maybe-reapply beyond the window.
+    def dup():
+        yield from a.rpc("b", "apply", {"v": 0}, nbytes=8, _req_id=0)
+
+    p2 = sim.process(dup())
+    sim.run(until=2.0)
+    assert p2.fired
+    assert applied == [0, 1, 2, 3, 4, 5, 0]
+
+
+def test_stop_preserves_reply_cache_crash_wipes_it():
+    sim, fab, a, b, applied = make_counting_pair()
+
+    def caller(rid):
+        return (yield from a.rpc("b", "apply", {"v": 9}, nbytes=8, _req_id=rid))
+
+    rid = a._alloc_req_id()
+    p = sim.process(caller(rid))
+    sim.run(until=0.5)
+    assert p.fired and applied == [9]
+
+    # stop()/start(): the dedup table survives maintenance restarts.
+    b.stop()
+    b.start()
+    p2 = sim.process(caller(rid))
+    sim.run(until=1.0)
+    assert p2.value == {"ack": 9}
+    assert applied == [9]  # replayed, not re-applied
+
+    # crash()/start(): volatile state is gone, the duplicate re-applies.
+    b.crash()
+    b.start()
+    p3 = sim.process(caller(rid))
+    sim.run(until=2.0)
+    assert p3.fired
+    assert applied == [9, 9]
+    assert not b._dedup or rid in b._dedup.get("a", {})
+
+
+def test_uncached_kind_skips_the_dedup_table():
+    sim, fab, a, b = make_pair()
+    beats = []
+
+    def beat(msg):
+        yield sim.timeout(0)
+        beats.append(msg.payload["t"])
+        return {"ok": True}, 8
+
+    b.register("beat", beat, cache_reply=False)
+    a.start()
+    b.start()
+
+    def caller():
+        rid = a._alloc_req_id()
+        yield from a.rpc("b", "beat", {"t": 1}, nbytes=8, _req_id=rid)
+        yield from a.rpc("b", "beat", {"t": 2}, nbytes=8, _req_id=rid)
+
+    p = sim.process(caller())
+    sim.run(until=1.0)
+    assert p.fired
+    assert beats == [1, 2]  # both ran: no dedup entry was ever created
+    assert b._dedup.get("a") in (None, {})
+
+
+def test_rpc_delivered_absorbs_request_loss_only():
+    sim, fab, a, b, applied = make_counting_pair()
+    fab.degrade_link("a", loss_every=1)  # every a-egress request drops
+
+    def healer():
+        yield 0.004
+        fab.heal_link("a")
+
+    def caller():
+        return (yield from a.rpc_delivered("b", "apply", {"v": 5}, nbytes=8))
+
+    sim.process(healer())
+    p = sim.process(caller())
+    sim.run(until=1.0)
+    assert p.value == {"ack": 5}
+    assert applied == [5]
+    assert a.retransmits >= 1
+    # Application errors still propagate unchanged.
+    def boom(msg):
+        yield sim.timeout(0)
+        raise ValueError("boom")
+
+    b.register("boom", boom)
+
+    def caller2():
+        yield from a.rpc_delivered("b", "boom", {}, nbytes=0)
+
+    sim.process(caller2())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run(until=2.0)
+
+
+def test_rpc_with_retry_rejects_degenerate_pacing():
+    sim, fab, a, b = make_pair()
+    a.start()
+    b.start()
+    with pytest.raises(ValueError, match="interval must be > 0"):
+        next(a.rpc_with_retry("b", "x", {}, interval=0.0))
+    with pytest.raises(ValueError, match="interval must be > 0"):
+        next(a.rpc_with_retry("b", "x", {}, interval=-1e-3))
+    with pytest.raises(ValueError, match="backoff must be >= 1.0"):
+        next(a.rpc_with_retry("b", "x", {}, backoff=0.5))
+
+
+def test_rpc_with_retry_backoff_respects_remaining_budget():
+    """The last sleep is clamped to the deadline: the caller fails at
+    start+budget, not at the next power-of-two backoff step past it."""
+    sim, fab, a, b = make_pair()
+    a.start()
+    b.start()
+    b.crash()
+    t0 = sim.now
+
+    def caller():
+        yield from a.rpc_with_retry("b", "x", {}, interval=1e-3,
+                                    budget=5e-3, backoff=2.0)
+
+    sim.process(caller())
+    with pytest.raises(HostDownError):
+        sim.run(until=1.0)
+    # Unclamped exponential pacing (1+2+4 ms) would overshoot to 7 ms.
+    assert sim.now == pytest.approx(t0 + 5e-3)
